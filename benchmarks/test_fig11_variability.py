@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 11 (run-to-run latency distributions)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig11_variability(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig11",), kwargs={"runs": 120},
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    rows = result.row_map("context")
+    assert rows["app"][8] > rows["benchmark"][8]  # CV
+    assert rows["app"][7] >= rows["benchmark"][7]  # max deviation
+    benchmark.extra_info["app_max_dev"] = rows["app"][7]
+    benchmark.extra_info["bench_max_dev"] = rows["benchmark"][7]

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 5 (EfficientNet-Lite0 int8 across targets)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_nnapi_fallback(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig5",), kwargs={"runs": 8},
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    latency = dict(zip(result.column("Target"), result.column("inference ms")))
+    assert latency["hexagon"] < latency["cpu"] < latency["cpu1"]
+    ratio = latency["nnapi"] / latency["cpu1"]
+    assert 4.0 < ratio < 11.0
+    benchmark.extra_info["nnapi_over_cpu1"] = ratio

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table I (model zoo construction + accounting)."""
+
+from repro.experiments import run_experiment
+from repro.models.zoo import load_model
+
+
+def test_table1_models(benchmark, save_result):
+    load_model.cache_clear()  # time real graph construction
+    result = benchmark(run_experiment, "table1")
+    save_result(result)
+    assert len(result.rows) == 11
+    benchmark.extra_info["models"] = len(result.rows)

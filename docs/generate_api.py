@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Generate docs/api.md from the package's docstrings.
+
+Walks ``repro``'s subpackages, extracts module docstrings and the
+signatures + first docstring paragraphs of public classes and functions,
+and writes a browsable markdown API reference.
+
+Run:  python docs/generate_api.py
+"""
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+
+import repro
+
+SKIP_MODULES = {"repro.__main__"}
+
+
+def first_paragraph(obj):
+    doc = inspect.getdoc(obj)
+    if not doc:
+        return ""
+    return doc.split("\n\n")[0].replace("\n", " ")
+
+
+def describe_callable(name, obj):
+    try:
+        signature = str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        signature = "(...)"
+    summary = first_paragraph(obj)
+    return f"- **`{name}{signature}`** — {summary}" if summary else (
+        f"- **`{name}{signature}`**"
+    )
+
+
+def describe_class(name, cls):
+    lines = [f"### `{name}`", "", first_paragraph(cls) or "", ""]
+    for method_name, method in sorted(vars(cls).items()):
+        if method_name.startswith("_"):
+            continue
+        if isinstance(method, property):
+            summary = first_paragraph(method)
+            lines.append(f"- *property* **`{method_name}`** — {summary}")
+        elif callable(method):
+            lines.append(describe_callable(f"{method_name}", method))
+    lines.append("")
+    return lines
+
+
+def iter_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in SKIP_MODULES:
+            continue
+        yield info.name
+
+
+def generate():
+    lines = [
+        "# API reference",
+        "",
+        "Generated from docstrings by `docs/generate_api.py`; do not edit.",
+        "",
+    ]
+    for module_name in sorted(iter_modules()):
+        module = importlib.import_module(module_name)
+        lines.append(f"## `{module_name}`")
+        lines.append("")
+        summary = first_paragraph(module)
+        if summary:
+            lines.append(summary)
+            lines.append("")
+        public = [
+            (name, obj)
+            for name, obj in sorted(vars(module).items())
+            if not name.startswith("_")
+            and getattr(obj, "__module__", None) == module_name
+        ]
+        for name, obj in public:
+            if inspect.isclass(obj):
+                lines.extend(describe_class(name, obj))
+            elif inspect.isfunction(obj):
+                lines.append(describe_callable(name, obj))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main():
+    output = pathlib.Path(__file__).resolve().parent / "api.md"
+    text = generate()
+    output.write_text(text)
+    print(f"wrote {output} ({len(text.splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Dashcam object detection: heavy post-processing in action (§IV-A).
+
+"Dashcams, for instance, compute and visualize bounding boxes from a
+model's output." This example runs the real detection post-processing
+chain — anchor decode, NMS, IoU tracking across frames — on synthetic
+moving objects, and then simulates the full SSD app pipeline to show
+how post-processing weighs against inference.
+
+Run:  python examples/dashcam_detection.py
+"""
+
+import numpy as np
+
+from repro.apps import PipelineConfig, run_pipeline
+from repro.core import breakdown
+from repro.processing import decode_boxes, non_max_suppression
+from repro.processing.tracking import IouTracker
+
+FRAMES = 12
+RNG = np.random.default_rng(7)
+
+
+def synthetic_scene(frame_index):
+    """Two cars and a pedestrian moving through the frame."""
+    objects = [
+        # (cy, cx, h, w) drifting right / left / crossing.
+        (0.55, 0.15 + 0.05 * frame_index, 0.18, 0.25),
+        (0.50, 0.90 - 0.04 * frame_index, 0.15, 0.22),
+        (0.70, 0.40 + 0.02 * frame_index, 0.25, 0.10),
+    ]
+    return [obj for obj in objects if 0.0 < obj[1] < 1.0]
+
+
+def fake_ssd_output(scene, anchors):
+    """Encode the scene into anchor-relative SSD outputs with clutter."""
+    count = anchors.shape[0]
+    encodings = RNG.normal(0, 0.05, size=(count, 4)).astype(np.float32)
+    scores = RNG.uniform(0.0, 0.25, size=count).astype(np.float32)
+    for cy, cx, height, width in scene:
+        # Plant each object on its nearest anchor.
+        distance = np.abs(anchors[:, 0] - cy) + np.abs(anchors[:, 1] - cx)
+        index = int(np.argmin(distance))
+        anchor = anchors[index]
+        encodings[index] = [
+            10.0 * (cy - anchor[0]) / anchor[2],
+            10.0 * (cx - anchor[1]) / anchor[3],
+            5.0 * np.log(height / anchor[2]),
+            5.0 * np.log(width / anchor[3]),
+        ]
+        scores[index] = RNG.uniform(0.75, 0.95)
+    return encodings, scores
+
+
+def main():
+    # A small anchor grid (the real SSD head has 1917; the algorithms
+    # are identical and the full count runs in the simulated pipeline).
+    grid = np.linspace(0.1, 0.9, 12)
+    anchors = np.array(
+        [(cy, cx, 0.2, 0.2) for cy in grid for cx in grid],
+        dtype=np.float32,
+    )
+    tracker = IouTracker(iou_threshold=0.3, max_misses=2)
+
+    print(f"Tracking {FRAMES} frames of synthetic traffic:")
+    for frame_index in range(FRAMES):
+        scene = synthetic_scene(frame_index)
+        encodings, scores = fake_ssd_output(scene, anchors)
+        boxes = decode_boxes(encodings, anchors)
+        keep = non_max_suppression(
+            boxes, scores, iou_threshold=0.4, max_detections=8
+        )
+        keep = [index for index in keep if scores[index] > 0.5]
+        tracks = tracker.update(boxes[keep], scores[keep])
+        confirmed = [track for track in tracks if track.confirmed]
+        labels = ", ".join(
+            f"#{track.track_id}@({track.box[0]:.2f},{track.box[1]:.2f})"
+            for track in confirmed
+        )
+        print(
+            f"  frame {frame_index:2d}: {len(keep)} detections, "
+            f"{len(confirmed)} confirmed tracks {labels}"
+        )
+
+    # The same workload through the simulated end-to-end app.
+    config = PipelineConfig(
+        model_key="ssd_mobilenet_v2", dtype="int8", context="app",
+        target="nnapi", runs=15,
+    )
+    result = breakdown(run_pipeline(config))
+    print(
+        f"\nSimulated SSD app pipeline: inference {result.inference_ms:.1f} ms, "
+        f"post-processing (decode+NMS+draw) {result.post_ms:.2f} ms, "
+        f"capture+pre {result.capture_ms + result.pre_ms:.1f} ms"
+    )
+    print(f"AI tax: {result.tax_fraction:.0%} of end-to-end latency")
+
+
+if __name__ == "__main__":
+    main()

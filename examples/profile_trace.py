@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Profile a pipeline and export a Chrome trace (the Fig. 6 workflow).
+
+Runs quantized EfficientNet-Lite0 under the three execution modes the
+paper profiles with the Snapdragon Profiler, prints terminal utilization
+strips per core, and writes Chrome trace-event JSON files you can open
+at chrome://tracing or ui.perfetto.dev.
+
+Run:  python examples/profile_trace.py [output_dir]
+"""
+
+import pathlib
+import sys
+
+from repro.apps import PipelineConfig
+from repro.apps.harness import run_pipeline_with_rig
+from repro.sim.export import write_chrome_trace
+from repro.viz import profile_strips
+
+TARGETS = ("cpu", "hexagon", "nnapi")
+
+
+def main(output_dir="."):
+    output = pathlib.Path(output_dir)
+    for target in TARGETS:
+        config = PipelineConfig(
+            model_key="efficientnet_lite0", dtype="int8", context="cli",
+            target=target, runs=6, trace=True,
+        )
+        _records, sim, soc, _kernel, _packaging = run_pipeline_with_rig(config)
+        trace = sim.trace
+        tracks = [core.name for core in soc.big_cores] + ["cdsp"]
+        timelines = {
+            track: trace.timeline(track, bucket_us=10_000.0)
+            for track in tracks
+        }
+        print(f"-- {target} ({sim.now / 1000:.0f} ms simulated) --")
+        print(profile_strips(timelines, order=tracks, width=60))
+        print(
+            f"   migrations={trace.counter_total('migration')} "
+            f"ctx_switches={trace.counter_total('ctx_switch')} "
+            f"axi={trace.counter_total('axi_bytes') / 1e6:.2f} MB"
+        )
+        path = output / f"trace_{target}.json"
+        events = write_chrome_trace(trace, path, process_name=f"repro:{target}")
+        print(f"   wrote {path} ({events} events)\n")
+    print("Open the JSON files at chrome://tracing or ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else ".")

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Quickstart: measure the AI tax of one ML application.
+
+Builds a simulated Pixel 3 (Snapdragon 845), runs a MobileNet v1
+image-classification app for 30 camera frames through NNAPI, and prints
+the per-stage latency breakdown — the paper's core measurement.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps import PipelineConfig, run_pipeline
+from repro.core import breakdown
+from repro.core.report import render_breakdown
+from repro.core.taxonomy import Taxonomy
+
+
+def main():
+    config = PipelineConfig(
+        model_key="mobilenet_v1",
+        dtype="int8",
+        context="app",        # a real app: camera, managed runtime, UI
+        target="nnapi",       # automatic device assignment
+        runs=30,
+        soc="sd845",
+        seed=0,
+    )
+    records = run_pipeline(config)
+    result = breakdown(records)
+
+    print(Taxonomy.describe())
+    print()
+    print(render_breakdown(result))
+    print()
+    print(
+        f"AI tax: {result.tax_ms:.1f} ms of {result.total_ms:.1f} ms "
+        f"({result.tax_fraction:.0%} of end-to-end latency)"
+    )
+    print(
+        "capture+pre vs inference: "
+        f"{result.capture_plus_pre_over_inference:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The sandboxed environment has no network and no ``wheel`` package, so PEP
+660 editable installs (``pip install -e .``) cannot build; ``python
+setup.py develop`` installs an egg-link instead. Configuration lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Simulated Android OS layer.
+
+Threads, a CFS-style scheduler over the SoC's cores, kernel-crossing
+costs, the FastRPC driver used to reach the Hexagon DSP, and the ambient
+interference (daemons, GC) that makes real-device latency vary run to
+run. The scheduler phenomena this layer produces — CPU fallback running
+single-threaded, frequent core migrations, contention from background
+inferences — are the mechanisms behind the paper's Figs. 5, 6, 9 and 10.
+"""
+
+from repro.android.fastrpc import FastRpcChannel, FastRpcStats
+from repro.android.interference import InterferenceProfile, start_interference
+from repro.android.kernel import Kernel
+from repro.android.process import AppProcess
+from repro.android.thread import Sleep, SimThread, WaitFor, Work
+
+__all__ = [
+    "FastRpcChannel",
+    "FastRpcStats",
+    "InterferenceProfile",
+    "start_interference",
+    "Kernel",
+    "AppProcess",
+    "Sleep",
+    "SimThread",
+    "WaitFor",
+    "Work",
+]

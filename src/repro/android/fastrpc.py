@@ -1,0 +1,196 @@
+"""FastRPC: the CPU <-> DSP offload channel (paper Fig. 7).
+
+The Hexagon DSP is loosely coupled — it has its own memory subsystem and
+no cache coherency with the CPU — so every invocation crosses these
+boundaries:
+
+    user (marshal args) -> kernel (ioctl, cache flush) -> AXI transfer
+      -> DSP dispatch -> compute -> AXI transfer back
+      -> kernel (invalidate, signal) -> user (unmarshal)
+
+Session setup additionally maps the calling process onto the DSP (loader
++ memory map), a one-time multi-millisecond cost per process: the
+dominant share of the cold-start penalty the paper amortizes in Fig. 8.
+"""
+
+from dataclasses import dataclass
+
+from repro.android import params
+from repro.android.thread import Sleep, WaitFor, Work
+
+
+@dataclass
+class FastRpcStats:
+    """Accounting of where FastRPC time went, per channel."""
+
+    calls: int = 0
+    session_opens: int = 0
+    session_open_us: float = 0.0
+    marshal_us: float = 0.0
+    kernel_us: float = 0.0
+    cache_flush_us: float = 0.0
+    transfer_us: float = 0.0
+    signal_us: float = 0.0
+    dsp_queue_us: float = 0.0
+    dsp_compute_us: float = 0.0
+
+    @property
+    def offload_overhead_us(self):
+        """Everything except DSP compute — the hardware AI tax."""
+        return (
+            self.session_open_us
+            + self.marshal_us
+            + self.kernel_us
+            + self.cache_flush_us
+            + self.transfer_us
+            + self.signal_us
+            + self.dsp_queue_us
+        )
+
+
+class FastRpcTimeout(Exception):
+    """The DSP did not become available within the driver timeout.
+
+    Real FastRPC invocations carry a driver-level timeout: a saturated
+    or wedged DSP surfaces as ``-ETIMEDOUT`` to the caller, who decides
+    whether to retry or fall back to the CPU.
+    """
+
+
+class FastRpcChannel:
+    """One process's RPC channel to the DSP.
+
+    All public methods are generators intended for ``yield from`` inside
+    a :class:`~repro.android.thread.SimThread` body.
+    """
+
+    def __init__(self, kernel, process_id, queue_timeout_us=None):
+        self.kernel = kernel
+        self.soc = kernel.soc
+        self.dsp = kernel.soc.dsp
+        self.process_id = process_id
+        #: Max wait for the DSP queue before the call fails; None waits
+        #: forever (the behaviour of the default driver configuration).
+        self.queue_timeout_us = queue_timeout_us
+        self.stats = FastRpcStats()
+        self._session_open = False
+
+    def open_session(self):
+        """Map the process onto the DSP (idempotent)."""
+        if self._session_open:
+            return
+        start = self.kernel.now
+        yield from self.kernel.syscall(label="fastrpc:open")
+        if self.dsp.map_process(self.process_id):
+            # Remote loader + SMMU mapping run on the DSP side; the CPU
+            # thread blocks while holding nothing.
+            yield Sleep(params.FASTRPC_SESSION_OPEN_US)
+        self._session_open = True
+        self.stats.session_opens += 1
+        self.stats.session_open_us += self.kernel.now - start
+
+    def invoke(self, input_bytes, output_bytes, dsp_compute_us, label="invoke"):
+        """One remote invocation; returns total wall time spent.
+
+        ``dsp_compute_us`` is the pure DSP execution time for the call;
+        the channel adds all offload overheads around it.
+        """
+        sim = self.kernel.sim
+        memory = self.soc.memory
+        start = self.kernel.now
+        if not self._session_open:
+            yield from self.open_session()
+        self.stats.calls += 1
+
+        # User side: marshal arguments.
+        yield Work(params.FASTRPC_MARSHAL_US, label=f"fastrpc:{label}:marshal")
+        self.stats.marshal_us += params.FASTRPC_MARSHAL_US
+
+        # Kernel entry + cache clean so the DSP sees our writes. The
+        # flush is CPU work (cache maintenance by VA runs on the core).
+        yield Work(params.IOCTL_US, label=f"fastrpc:{label}:ioctl")
+        self.stats.kernel_us += params.IOCTL_US
+        if self.dsp.coupling == "loose":
+            flush_us = memory.cache_flush_us(input_bytes)
+            yield Work(flush_us, label=f"fastrpc:{label}:flush")
+            self.stats.cache_flush_us += flush_us
+
+        # Signal the DSP and wait in its queue (capacity-1 device).
+        yield Sleep(params.FASTRPC_SIGNAL_US)
+        self.stats.signal_us += params.FASTRPC_SIGNAL_US
+        queue_start = self.kernel.now
+        request = self.dsp.resource.request()
+        if self.queue_timeout_us is not None:
+            deadline = sim.timeout(self.queue_timeout_us)
+            yield WaitFor(sim.any_of([request, deadline]))
+            if not request.granted:
+                # Driver timeout: withdraw from the queue and fail the
+                # call; the kernel exit path is still charged.
+                request.release()
+                self.stats.dsp_queue_us += self.kernel.now - queue_start
+                yield Work(params.IOCTL_US, label=f"fastrpc:{label}:etimedout")
+                self.stats.kernel_us += params.IOCTL_US
+                raise FastRpcTimeout(
+                    f"DSP busy for {self.queue_timeout_us:.0f}us "
+                    f"(queue depth {self.dsp.resource.queue_length})"
+                )
+        else:
+            yield WaitFor(request)
+        self.stats.dsp_queue_us += self.kernel.now - queue_start
+        try:
+            # Move inputs over AXI into VTCM, compute, move outputs back.
+            if self.dsp.coupling == "loose":
+                in_transfer = memory.axi_transfer_us(input_bytes)
+                yield Sleep(in_transfer)
+                self.stats.transfer_us += in_transfer
+            span = None
+            if sim.trace is not None:
+                span = sim.trace.begin("cdsp", label, process=self.process_id)
+            yield Sleep(params.FASTRPC_DSP_DISPATCH_US + dsp_compute_us)
+            if span is not None:
+                sim.trace.end(span)
+            self.soc.energy.add_dsp_busy(
+                params.FASTRPC_DSP_DISPATCH_US + dsp_compute_us
+            )
+            self.stats.dsp_compute_us += dsp_compute_us
+            if self.dsp.coupling == "loose":
+                out_transfer = memory.axi_transfer_us(output_bytes)
+                yield Sleep(out_transfer)
+                self.stats.transfer_us += out_transfer
+        finally:
+            request.release()
+
+        # DSP -> CPU completion signal, kernel exit, invalidate outputs.
+        yield Sleep(params.FASTRPC_SIGNAL_US)
+        self.stats.signal_us += params.FASTRPC_SIGNAL_US
+        if self.dsp.coupling == "loose":
+            invalidate_us = memory.cache_flush_us(output_bytes)
+            yield Work(invalidate_us, label=f"fastrpc:{label}:invalidate")
+            self.stats.cache_flush_us += invalidate_us
+        yield Work(params.IOCTL_US, label=f"fastrpc:{label}:ret")
+        self.stats.kernel_us += params.IOCTL_US
+
+        return self.kernel.now - start
+
+    def close(self):
+        """Tear down the process mapping."""
+        if self._session_open:
+            self.dsp.unmap_process(self.process_id)
+            self._session_open = False
+
+
+def call_flow_stages():
+    """The Fig. 7 call-flow stage names, in order (for reports/tests)."""
+    return (
+        "user:marshal",
+        "kernel:ioctl",
+        "kernel:cache_flush",
+        "signal:cpu_to_dsp",
+        "dsp:queue",
+        "axi:input_transfer",
+        "dsp:dispatch_compute",
+        "axi:output_transfer",
+        "signal:dsp_to_cpu",
+        "kernel:cache_invalidate",
+        "kernel:ioctl_return",
+    )

@@ -1,0 +1,97 @@
+"""Ambient system interference.
+
+The paper attributes app-side run-to-run variability (±30% from the
+median, Fig. 11) to "the Android operating system's scheduling
+decisions, delays in the interrupt handling from sensor input streams,
+etc." — activity that exists on a real phone but not in a bare
+benchmark loop. This module provides daemon threads that wake
+stochastically and briefly compete for CPU: system_server churn,
+surfaceflinger composition, kworker bursts.
+"""
+
+from dataclasses import dataclass
+
+from repro.android.thread import Sleep, Work
+
+
+@dataclass(frozen=True)
+class DaemonSpec:
+    """A recurring background daemon."""
+
+    name: str
+    mean_interval_us: float
+    mean_burst_us: float
+    nice: int = 0
+
+
+#: What runs alongside a foreground Android app.
+APP_DAEMONS = (
+    DaemonSpec("system_server", mean_interval_us=40_000.0, mean_burst_us=900.0),
+    DaemonSpec("surfaceflinger", mean_interval_us=16_667.0, mean_burst_us=650.0, nice=-2),
+    DaemonSpec("kworker", mean_interval_us=25_000.0, mean_burst_us=350.0),
+    DaemonSpec("sensors_hal", mean_interval_us=20_000.0, mean_burst_us=250.0),
+    DaemonSpec("audioserver", mean_interval_us=90_000.0, mean_burst_us=500.0),
+)
+
+#: The near-silent system state of a command-line benchmark run over adb
+#: with the screen off — only kernel housekeeping remains.
+BENCHMARK_DAEMONS = (
+    DaemonSpec("kworker", mean_interval_us=45_000.0, mean_burst_us=200.0),
+)
+
+
+@dataclass(frozen=True)
+class InterferenceProfile:
+    """A named set of daemons, scaled by ``intensity``."""
+
+    name: str
+    daemons: tuple
+    intensity: float = 1.0
+
+    @classmethod
+    def app(cls, intensity=1.0):
+        return cls("app", APP_DAEMONS, intensity)
+
+    @classmethod
+    def benchmark(cls, intensity=1.0):
+        return cls("benchmark", BENCHMARK_DAEMONS, intensity)
+
+    @classmethod
+    def none(cls):
+        return cls("none", (), 0.0)
+
+
+import math
+
+
+def _daemon_body(kernel, spec, intensity, rng):
+    # Burst sizes are heavy-tailed (lognormal): most wakeups are tiny,
+    # the occasional one is 10x the mean — the long tail that real
+    # Android system services exhibit and that stretches an app's
+    # latency distribution (paper Fig. 11).
+    sigma = 1.2
+    mu = math.log(spec.mean_burst_us) - sigma * sigma / 2.0
+    while True:
+        interval = rng.exponential(spec.mean_interval_us)
+        yield Sleep(max(interval, 50.0))
+        burst = min(
+            rng.lognormal(mu, sigma), 6.0 * spec.mean_burst_us
+        ) * intensity
+        if burst > 1.0:
+            yield Work(burst, label=f"daemon:{spec.name}")
+
+
+def start_interference(kernel, profile):
+    """Spawn the profile's daemons; returns the created threads."""
+    threads = []
+    if profile.intensity <= 0:
+        return threads
+    for spec in profile.daemons:
+        rng = kernel.sim.rng.stream(f"daemon:{spec.name}")
+        thread = kernel.spawn(
+            _daemon_body(kernel, spec, profile.intensity, rng),
+            name=spec.name,
+            nice=spec.nice,
+        )
+        threads.append(thread)
+    return threads

@@ -1,0 +1,309 @@
+"""CFS-style scheduler over the simulated SoC's cores.
+
+Design notes
+------------
+
+* One global runqueue (per-thread affinity masks filter eligibility);
+  each core runs a dispatch loop that picks the runnable thread with the
+  lowest virtual runtime, charges a context switch if it is not the one
+  that ran there last, and executes at most one timeslice before
+  re-picking.
+* Threads waking onto a different core than they last ran on pay a
+  migration penalty (cold caches) and are counted — the "frequent CPU
+  migrations" annotation 4 of the paper's Fig. 6 profile.
+* Idle cores are woken in randomized order when work arrives, which —
+  combined with interference daemons — reproduces the single hot thread
+  bouncing across cores 4-7 that the paper observes for the NNAPI CPU
+  fallback path.
+* Per-cluster DVFS governors sample window utilization; a benchmark's
+  tight loop pins the top OPP while an app idling between camera frames
+  ramps up and down, contributing run-to-run variability (Fig. 11).
+"""
+
+from repro.android import params
+from repro.android.thread import (
+    BLOCKED,
+    DONE,
+    RUNNABLE,
+    RUNNING,
+    Sleep,
+    SimThread,
+    WaitFor,
+    Work,
+)
+
+#: Governor sampling window.
+_GOVERNOR_WINDOW_US = 4_000.0
+#: Thermal model sampling window.
+_THERMAL_WINDOW_US = 50_000.0
+#: Floor for core speed so a throttled core still makes progress.
+_MIN_SPEED = 0.01
+
+
+class Kernel:
+    """Scheduler + OS services for one simulated device."""
+
+    def __init__(self, sim, soc, enable_dvfs=True, enable_thermal=False):
+        self.sim = sim
+        self.soc = soc
+        self.threads = []
+        self._runqueue = []
+        self._idle_events = {}
+        self._cluster_busy = {cluster.name: 0.0 for cluster in soc.clusters}
+        self._core_busy = {core.core_id: 0.0 for core in soc.cores}
+        self._total_busy = 0.0
+        self._rng = sim.rng.stream("sched")
+        # Start dispatch loops fastest-core-first so work queued before
+        # the first simulation step lands on the big cluster.
+        for core in sorted(soc.cores, key=lambda c: -c.perf_index):
+            sim.process(self._core_loop(core), name=f"{core.name}:loop")
+        if enable_dvfs:
+            for cluster in soc.clusters:
+                sim.process(
+                    self._governor_loop(cluster), name=f"gov:{cluster.name}"
+                )
+        if enable_thermal:
+            sim.process(self._thermal_loop(), name="thermal")
+
+    @property
+    def now(self):
+        return self.sim.now
+
+    # -- thread lifecycle ------------------------------------------------
+
+    def spawn(self, body, name, nice=0, affinity=None, process=None):
+        """Create and start a thread running generator ``body``."""
+        thread = SimThread(
+            self, body, name, nice=nice, affinity=affinity, process=process
+        )
+        self.threads.append(thread)
+        self._advance(thread, None)
+        return thread
+
+    def spawn_on_big(self, body, name, **kwargs):
+        """Spawn with affinity to the big cluster (perf-critical work)."""
+        affinity = {core.core_id for core in self.soc.big_cores}
+        return self.spawn(body, name, affinity=affinity, **kwargs)
+
+    # -- scheduling internals ----------------------------------------------
+
+    def _advance(self, thread, value, exception=None):
+        """Run the thread body to its next scheduling request."""
+        try:
+            if exception is not None:
+                request = thread.body.throw(exception)
+            else:
+                request = thread.body.send(value)
+        except StopIteration as stop:
+            thread.state = DONE
+            thread.done.succeed(getattr(stop, "value", None))
+            return
+        if isinstance(request, Work):
+            if request.ref_us <= 0:
+                self._advance(thread, None)
+                return
+            thread.remaining_work = request.ref_us
+            thread.current_label = request.label
+            self._enqueue(thread)
+        elif isinstance(request, Sleep):
+            thread.state = BLOCKED
+            self.sim.schedule_callback(
+                request.duration_us,
+                lambda _event: self._advance(thread, None),
+                name=f"{thread.name}:sleep",
+            )
+        elif isinstance(request, WaitFor):
+            thread.state = BLOCKED
+            event = request.event
+            if event.processed:
+                self.sim.schedule_callback(
+                    0.0, lambda _ev: self._resume_from_event(thread, event)
+                )
+            else:
+                event.callbacks.append(
+                    lambda ev: self._resume_from_event(thread, ev)
+                )
+        else:
+            raise TypeError(
+                f"thread {thread.name!r} yielded {request!r}; expected "
+                "Work, Sleep, or WaitFor"
+            )
+
+    def _resume_from_event(self, thread, event):
+        if event._exception is not None:
+            self._advance(thread, None, exception=event._exception)
+        else:
+            self._advance(thread, event._value)
+
+    def _min_runnable_vruntime(self):
+        candidates = [thread.vruntime for thread in self._runqueue]
+        candidates.extend(
+            core.current_thread.vruntime
+            for core in self.soc.cores
+            if core.current_thread is not None
+            and core.current_thread.state == RUNNING
+        )
+        return min(candidates) if candidates else 0.0
+
+    def _enqueue(self, thread):
+        thread.state = RUNNABLE
+        # Place woken threads at the head of the fairness window so they
+        # get CPU promptly without resetting accumulated fairness.
+        thread.vruntime = max(thread.vruntime, self._min_runnable_vruntime())
+        self._runqueue.append(thread)
+        self._wake_idle_cores(thread)
+
+    def _wake_idle_cores(self, thread):
+        eligible = [
+            core_id
+            for core_id, event in self._idle_events.items()
+            if event is not None and thread.can_run_on(self.soc.core(core_id))
+        ]
+        # Capacity-aware placement (EAS-style): offer work to the fastest
+        # idle cores first, with a randomized tiebreak within a cluster so
+        # placement among equal cores is not always cpu4.
+        self._rng.shuffle(eligible)
+        eligible.sort(key=lambda cid: -self.soc.core(cid).perf_index)
+        for core_id in eligible:
+            event = self._idle_events[core_id]
+            self._idle_events[core_id] = None
+            event.succeed()
+
+    def _pick_for(self, core):
+        best = None
+        for thread in self._runqueue:
+            if not thread.can_run_on(core):
+                continue
+            if best is None or thread.vruntime < best.vruntime:
+                best = thread
+        return best
+
+    def _core_loop(self, core):
+        sim = self.sim
+        while True:
+            thread = self._pick_for(core)
+            if thread is None:
+                idle = sim.event(name=f"{core.name}:idle")
+                self._idle_events[core.core_id] = idle
+                yield idle
+                continue
+            self._runqueue.remove(thread)
+            thread.state = RUNNING
+            if core.current_thread is not thread:
+                thread.stats.context_switches += 1
+                if sim.trace is not None:
+                    sim.trace.count(f"ctx_switch:{core.name}")
+                    sim.trace.count("ctx_switch")
+                yield sim.timeout(params.CONTEXT_SWITCH_US)
+            if (
+                thread.last_core_id is not None
+                and thread.last_core_id != core.core_id
+            ):
+                thread.stats.migrations += 1
+                thread.penalty_work += params.MIGRATION_PENALTY_US
+                if sim.trace is not None:
+                    sim.trace.count("migration")
+            core.current_thread = thread
+            thread.last_core_id = core.core_id
+
+            speed = max(core.speed, _MIN_SPEED)
+            total_work = thread.penalty_work + thread.remaining_work
+            slice_work = min(total_work, params.TIMESLICE_US * speed)
+            duration = slice_work / speed
+            span = None
+            if sim.trace is not None:
+                span = sim.trace.begin(core.name, thread.name, tid=thread.tid)
+            yield sim.timeout(duration)
+            if span is not None:
+                sim.trace.end(span)
+
+            penalty_used = min(thread.penalty_work, slice_work)
+            thread.penalty_work -= penalty_used
+            thread.remaining_work -= slice_work - penalty_used
+            thread.vruntime += duration / thread.weight
+            thread.stats.cpu_time_us += duration
+            thread.stats.slices += 1
+            thread.stats.cores_used.add(core.core_id)
+            core.busy_us += duration
+            self.soc.energy.add_cpu_slice(
+                core, duration, label=thread.current_label or thread.name
+            )
+            self._cluster_busy[core.cluster.name] += duration
+            self._core_busy[core.core_id] += duration
+            self._total_busy += duration
+
+            if thread.remaining_work <= 1e-9:
+                thread.state = BLOCKED
+                thread.remaining_work = 0.0
+                self._advance(thread, None)
+            else:
+                thread.state = RUNNABLE
+                self._runqueue.append(thread)
+                # Misfit migration (EAS): when a strictly faster core
+                # sits idle, hand the preempted thread over instead of
+                # letting this core re-pick it — the yield gives the
+                # woken core's loop one schedule round to steal. Equal
+                # or slower idle cores never steal here, which avoids
+                # pointless migration ping-pong at slice boundaries.
+                faster_idle = any(
+                    self._idle_events.get(other.core_id) is not None
+                    and other.perf_index > core.perf_index
+                    and thread.can_run_on(other)
+                    for other in self.soc.cores
+                )
+                if faster_idle:
+                    self._wake_idle_cores(thread)
+                    yield sim.timeout(0.0)
+
+    # -- periodic services ----------------------------------------------
+
+    def _governor_loop(self, cluster):
+        # schedutil tracks per-CPU utilization and a cluster runs at the
+        # frequency its *busiest* core needs — a single fully-busy core
+        # pins the whole cluster at the top OPP.
+        last_busy = {core.core_id: 0.0 for core in cluster.cores}
+        while True:
+            yield self.sim.timeout(_GOVERNOR_WINDOW_US)
+            utilization = 0.0
+            for core in cluster.cores:
+                busy = self._core_busy[core.core_id]
+                window_busy = busy - last_busy[core.core_id]
+                last_busy[core.core_id] = busy
+                utilization = max(
+                    utilization, min(1.0, window_busy / _GOVERNOR_WINDOW_US)
+                )
+            cluster.governor.update(utilization)
+            if self.sim.trace is not None:
+                self.sim.trace.count(
+                    f"freq:{cluster.name}", cluster.governor.current_khz
+                )
+
+    def _thermal_loop(self):
+        # Die heating is dominated by the big cluster (its cores draw
+        # ~5x a little core): normalize load to the big-core count so a
+        # saturated big cluster drives the die towards max temperature.
+        last_busy = 0.0
+        big_count = max(1, len(self.soc.big_cores))
+        while True:
+            yield self.sim.timeout(_THERMAL_WINDOW_US)
+            window_busy = self._total_busy - last_busy
+            last_busy = self._total_busy
+            load = min(1.0, window_busy / (_THERMAL_WINDOW_US * big_count))
+            self.soc.thermal.update(load)
+
+    # -- system call / IPC helpers (generators for thread bodies) -------
+
+    def syscall(self, work_us=0.0, label="syscall"):
+        """Kernel round trip plus optional in-kernel work."""
+        yield Work(params.IOCTL_US + work_us, label=label)
+
+    def binder_call(self, service_work_us=0.0, label="binder"):
+        """Synchronous binder transaction to a system service.
+
+        The caller blocks while the remote service does its work; only
+        the transaction overhead is charged to the calling thread.
+        """
+        yield Work(params.BINDER_CALL_US / 2, label=f"{label}:send")
+        if service_work_us > 0:
+            yield Sleep(service_work_us)
+        yield Work(params.BINDER_CALL_US / 2, label=f"{label}:recv")

@@ -1,0 +1,112 @@
+"""Simulated threads and the requests their bodies may yield.
+
+A thread body is a generator that yields scheduling requests:
+
+* ``Work(ref_us)`` — consume CPU time, measured in reference
+  microseconds (see :mod:`repro.soc.params`); the scheduler slices it
+  across cores and converts to wall time using the current core speed.
+* ``Sleep(us)`` — block for fixed wall time without holding a core.
+* ``WaitFor(event)`` — block on any simulator event (resource grants,
+  DSP completion, camera frames); resumes with the event's value.
+
+Bodies may freely ``yield from`` helper generators that mix these, which
+is how drivers like :class:`repro.android.fastrpc.FastRpcChannel`
+compose CPU work with device waits.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.android import params
+
+NEW = "new"
+RUNNABLE = "runnable"
+RUNNING = "running"
+BLOCKED = "blocked"
+DONE = "done"
+
+
+@dataclass(frozen=True)
+class Work:
+    """Consume CPU: ``ref_us`` microseconds on the reference core."""
+
+    ref_us: float
+    label: str = "work"
+
+    def __post_init__(self):
+        if self.ref_us < 0:
+            raise ValueError(f"negative work: {self.ref_us}")
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Block off-CPU for a fixed wall-time duration."""
+
+    duration_us: float
+
+    def __post_init__(self):
+        if self.duration_us < 0:
+            raise ValueError(f"negative sleep: {self.duration_us}")
+
+
+@dataclass(frozen=True)
+class WaitFor:
+    """Block until a simulator event triggers; resumes with its value."""
+
+    event: object
+
+
+class SimThread:
+    """A schedulable thread.
+
+    Created via :meth:`repro.android.kernel.Kernel.spawn`. ``nice``
+    follows Linux semantics (lower = higher priority, weight 1.25x per
+    step); ``affinity`` is an optional set of allowed core ids.
+    """
+
+    _ids = iter(range(1, 1_000_000))
+
+    def __init__(self, kernel, body, name, nice=0, affinity=None, process=None):
+        self.kernel = kernel
+        self.body = body
+        self.name = name
+        self.tid = next(SimThread._ids)
+        self.nice = nice
+        self.affinity = frozenset(affinity) if affinity is not None else None
+        self.process = process
+        self.state = NEW
+        self.vruntime = 0.0
+        self.last_core_id = None
+        #: Remaining reference-us of the Work item being executed.
+        self.remaining_work = 0.0
+        self.current_label = None
+        #: Pending one-off penalty work (migration cost) in ref-us.
+        self.penalty_work = 0.0
+        self.stats = ThreadStats()
+        #: Event triggered with the body's return value when it finishes.
+        self.done = kernel.sim.event(name=f"{name}:done")
+
+    @property
+    def weight(self):
+        """CFS load weight; vruntime advances inversely to this."""
+        return params.NICE_WEIGHT_STEP ** (-self.nice)
+
+    def can_run_on(self, core):
+        return self.affinity is None or core.core_id in self.affinity
+
+    def runnable(self):
+        return self.state == RUNNABLE
+
+    def __repr__(self):
+        return f"<SimThread {self.name} tid={self.tid} state={self.state}>"
+
+
+@dataclass
+class ThreadStats:
+    """Per-thread accounting surfaced in profiles and tests."""
+
+    cpu_time_us: float = 0.0
+    wall_work_us: float = 0.0
+    context_switches: int = 0
+    migrations: int = 0
+    slices: int = 0
+    cores_used: set = field(default_factory=set)

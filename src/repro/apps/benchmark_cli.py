@@ -1,0 +1,142 @@
+"""The TFLite benchmark utility, CLI and Android-app flavours.
+
+The CLI benchmark generates random tensors as input — its "data
+capture" — which the paper shows is a poor proxy for real capture,
+complete with a standard-library quirk: random reals are cheap under
+libc++ and expensive under libstdc++, integers the other way around.
+"""
+
+from repro.android import AppProcess
+from repro.android import params as os_params
+from repro.android.interference import InterferenceProfile, start_interference
+from repro.android.thread import Work
+from repro.apps.sessions import make_session
+from repro.core.measurement import PipelineRun, RunCollection
+from repro.models import load_model, model_card
+from repro.processing import build_postprocess_plan, build_preprocessor
+from repro.processing.costs import random_input_cost_us
+
+
+class BenchmarkCli:
+    """``benchmark_model`` run over adb: no UI, no app process."""
+
+    context = "benchmark"
+    name = "benchmark_cli"
+    managed_runtime = False
+    ui_render = False
+
+    def __init__(self, kernel, model_key, dtype="fp32", target="cpu",
+                 threads=4, stdlib="libc++", interference=None,
+                 preference=None):
+        self.kernel = kernel
+        self.model_key = model_key
+        self.card = model_card(model_key)
+        self.model = load_model(model_key, dtype)
+        self.target = target
+        self.stdlib = stdlib
+        self.session = make_session(
+            kernel, self.model, target=target, threads=threads,
+            preference=preference,
+        )
+        self.pre_plan = build_preprocessor(
+            self.card, self.model, context=self.context
+        )
+        self.post_plan = build_postprocess_plan(
+            self.card, self.model, context=self.context
+        )
+        self.records = RunCollection(name=f"{self.name}:{model_key}:{dtype}")
+        if interference is None:
+            interference = InterferenceProfile.benchmark()
+        self._interference = interference
+        self._interference_started = False
+        self.process = self._make_process()
+
+    def _make_process(self):
+        return AppProcess(
+            self.kernel, self.name, managed_runtime=self.managed_runtime
+        )
+
+    # -- stage generators --------------------------------------------------
+
+    def _capture(self):
+        """Random input generation stands in for data capture."""
+        cost = random_input_cost_us(
+            self.model.input_spec.numel, self.model.dtype, self.stdlib
+        )
+        yield Work(cost, label="bench:randgen")
+
+    def _other(self):
+        """No UI in the CLI benchmark."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # -- the measured loop ---------------------------------------------------
+
+    def body(self, runs):
+        """Thread body: prepare once, then ``runs`` measured iterations."""
+        if not self._interference_started:
+            start_interference(self.kernel, self._interference)
+            self._interference_started = True
+        kernel = self.kernel
+        yield from self.session.prepare()
+        for index in range(runs):
+            start = kernel.now
+            yield from self._capture()
+            t_capture = kernel.now
+            if self.pre_plan.cost_us > 0:
+                yield Work(self.pre_plan.cost_us, label="bench:pre")
+            t_pre = kernel.now
+            yield from self.session.invoke()
+            t_infer = kernel.now
+            if self.post_plan.cost_us > 0:
+                yield Work(self.post_plan.cost_us, label="bench:post")
+            t_post = kernel.now
+            yield from self._other()
+            t_end = kernel.now
+            self.records.add(
+                PipelineRun(
+                    capture_us=t_capture - start,
+                    pre_us=t_pre - t_capture,
+                    inference_us=t_infer - t_pre,
+                    post_us=t_post - t_infer,
+                    other_us=t_end - t_post,
+                    meta={"iteration": index, "target": self.target},
+                )
+            )
+        return self.records
+
+    def execute(self, runs=10, thread_name=None):
+        """Spawn the loop and run the simulation until it finishes."""
+        thread = self.kernel.spawn(
+            self.body(runs), name=thread_name or f"{self.name}:{self.model_key}",
+            process=self.process,
+        )
+        self.kernel.sim.run(until=thread.done)
+        return self.records
+
+
+class BenchmarkApp(BenchmarkCli):
+    """The TFLite Android benchmark app: same loop, app clothing.
+
+    Runs inside a managed (ART) process with the normal daemon load and
+    refreshes its UI after each iteration — closer to an app than the
+    CLI, yet still masking data capture and pre-processing (paper
+    Fig. 3).
+    """
+
+    name = "benchmark_app"
+    managed_runtime = True
+    ui_render = True
+
+    def __init__(self, kernel, model_key, dtype="fp32", target="cpu",
+                 threads=4, stdlib="libc++", interference=None,
+                 preference=None):
+        if interference is None:
+            interference = InterferenceProfile.app(intensity=0.6)
+        super().__init__(
+            kernel, model_key, dtype=dtype, target=target, threads=threads,
+            stdlib=stdlib, interference=interference, preference=preference,
+        )
+
+    def _other(self):
+        yield Work(os_params.UI_RENDER_US * 0.4, label="benchapp:ui")

@@ -1,0 +1,105 @@
+"""MLPerf-style load generator.
+
+The paper's critique targets industry benchmarks (MLPerf, AI Benchmark)
+that "overemphasize ML inference performance". This loadgen implements
+the two mobile-relevant MLPerf scenarios so the gap can be quantified
+inside one framework:
+
+* **single-stream** — issue the next query as soon as the previous
+  completes; report the 90th-percentile latency (the MLPerf metric).
+* **offline** — issue all queries at once; report throughput.
+
+Both exercise *inference only* (random inputs, no capture, no app
+pipeline), exactly like the benchmarks the paper takes to task, so
+comparing their scores against an app's measured latency quantifies the
+"missing the forest for the trees" gap.
+"""
+
+from dataclasses import dataclass
+
+from repro.android.thread import Work
+from repro.apps.sessions import make_session
+from repro.models import load_model
+from repro.processing.costs import random_input_cost_us
+
+SINGLE_STREAM = "single_stream"
+OFFLINE = "offline"
+
+
+@dataclass(frozen=True)
+class LoadgenResult:
+    """Scenario score plus the underlying samples."""
+
+    scenario: str
+    model_key: str
+    dtype: str
+    target: str
+    query_count: int
+    #: MLPerf single-stream metric: 90th-percentile latency (ms).
+    p90_latency_ms: float
+    mean_latency_ms: float
+    #: MLPerf offline metric: queries per second.
+    throughput_qps: float
+
+
+class MlperfLoadgen:
+    """Drives an inference session under an MLPerf scenario."""
+
+    def __init__(self, kernel, model_key, dtype="fp32", target="cpu",
+                 threads=4):
+        self.kernel = kernel
+        self.model_key = model_key
+        self.dtype = dtype
+        self.target = target
+        self.model = load_model(model_key, dtype)
+        self.session = make_session(
+            kernel, self.model, target=target, threads=threads
+        )
+        self.latencies_us = []
+
+    def _single_stream_body(self, queries):
+        yield from self.session.prepare()
+        # MLPerf allows untimed warm-up.
+        yield from self.session.invoke()
+        for _ in range(queries):
+            yield Work(
+                random_input_cost_us(self.model.input_spec.numel, self.dtype),
+                label="loadgen:sample",
+            )
+            duration = yield from self.session.invoke()
+            self.latencies_us.append(duration)
+
+    def _offline_body(self, queries):
+        yield from self.session.prepare()
+        yield from self.session.invoke()
+        start = self.kernel.now
+        for _ in range(queries):
+            duration = yield from self.session.invoke()
+            self.latencies_us.append(duration)
+        self._offline_wall_us = self.kernel.now - start
+
+    def run(self, scenario=SINGLE_STREAM, queries=50):
+        """Execute the scenario; returns a :class:`LoadgenResult`."""
+        if scenario == SINGLE_STREAM:
+            body = self._single_stream_body(queries)
+        elif scenario == OFFLINE:
+            body = self._offline_body(queries)
+        else:
+            raise ValueError(f"unknown scenario {scenario!r}")
+        thread = self.kernel.spawn_on_big(body, name=f"loadgen:{scenario}")
+        start = self.kernel.now
+        self.kernel.sim.run(until=thread.done)
+        wall_us = self.kernel.now - start
+        ordered = sorted(self.latencies_us)
+        p90 = ordered[min(len(ordered) - 1, int(0.9 * len(ordered)))]
+        mean = sum(ordered) / len(ordered)
+        return LoadgenResult(
+            scenario=scenario,
+            model_key=self.model_key,
+            dtype=self.dtype,
+            target=self.target,
+            query_count=len(ordered),
+            p90_latency_ms=p90 / 1000.0,
+            mean_latency_ms=mean / 1000.0,
+            throughput_qps=len(ordered) / (wall_us / 1e6) if wall_us else 0.0,
+        )

@@ -1,0 +1,44 @@
+"""Session factory: map a target name to a configured runtime."""
+
+from repro.frameworks import (
+    GpuDelegate,
+    HexagonDelegate,
+    NnapiSession,
+    SnpeSession,
+    TfliteInterpreter,
+)
+
+#: Target names accepted across apps, experiments, and examples.
+TARGETS = (
+    "cpu",        # TFLite tuned kernels, 4 threads
+    "cpu1",       # TFLite tuned kernels, 1 thread
+    "nnapi",      # NNAPI automatic device assignment
+    "hexagon",    # TFLite Hexagon delegate (direct)
+    "gpu",        # TFLite GPU delegate
+    "snpe-dsp",   # vendor runtime on the DSP
+    "snpe-cpu",   # vendor runtime on the CPU
+)
+
+
+def make_session(kernel, model, target="cpu", threads=4, preference=None):
+    """Build an :class:`~repro.frameworks.base.InferenceSession`."""
+    if target == "cpu":
+        return TfliteInterpreter(kernel, model, threads=threads)
+    if target == "cpu1":
+        return TfliteInterpreter(kernel, model, threads=1)
+    if target == "nnapi":
+        kwargs = {"threads": threads}
+        if preference is not None:
+            kwargs["preference"] = preference
+        return NnapiSession(kernel, model, **kwargs)
+    if target == "hexagon":
+        return TfliteInterpreter(
+            kernel, model, delegate=HexagonDelegate(kernel)
+        )
+    if target == "gpu":
+        return TfliteInterpreter(kernel, model, delegate=GpuDelegate(kernel))
+    if target == "snpe-dsp":
+        return SnpeSession(kernel, model, runtime="dsp")
+    if target == "snpe-cpu":
+        return SnpeSession(kernel, model, runtime="cpu", threads=threads)
+    raise ValueError(f"unknown target {target!r}; known: {TARGETS}")

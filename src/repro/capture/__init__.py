@@ -1,0 +1,13 @@
+"""Data capture: the simulated camera subsystem (paper §II-A).
+
+A camera HAL process delivers YUV NV21 frames at the sensor frame rate
+(with exposure/ISP jitter) into a bounded buffer queue; the app's
+capture stage is the wait for the next frame plus the delivery IPC.
+Frames can also be synthesized as real NV21 byte buffers so the
+pre-processing kernels have genuine data to chew on in examples/tests.
+"""
+
+from repro.capture.camera import CameraHal
+from repro.capture.frames import FrameDescriptor, synthesize_nv21, synthesize_rgb
+
+__all__ = ["CameraHal", "FrameDescriptor", "synthesize_nv21", "synthesize_rgb"]

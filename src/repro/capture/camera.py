@@ -1,0 +1,101 @@
+"""The camera HAL.
+
+Delivers frames on the sensor cadence into a small buffer queue; stale
+frames are recycled when the consumer falls behind (so a slow inference
+pipeline sees fresh frames, not a growing backlog — the behaviour of
+Android's ImageReader with a fixed buffer count).
+
+Capture latency seen by the app = wait for the next frame (up to a full
+frame interval, depending on phase) + interrupt/delivery jitter +
+binder IPC from the camera service. The paper names "delays in the
+interrupt handling from sensor input streams" as one variability source;
+the jitter stream models that.
+"""
+
+from repro.android import params as os_params
+from repro.android.thread import WaitFor, Work
+from repro.capture.frames import FrameDescriptor
+from repro.sim.resources import Store
+
+
+class CameraHal:
+    """One camera stream bound to a simulator."""
+
+    #: Per-pixel ISP cost (demosaic/3A statistics) in the HAL thread, ns.
+    ISP_NS_PER_PIXEL = 4.0
+
+    def __init__(self, kernel, resolution=(480, 640), fps=30.0,
+                 buffer_count=3, jitter_fraction=0.08, isp_enabled=True):
+        if fps <= 0:
+            raise ValueError(f"fps must be positive, got {fps}")
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.resolution = resolution
+        self.fps = fps
+        self.frame_interval_us = 1e6 / fps
+        self.jitter_fraction = jitter_fraction
+        self.isp_enabled = isp_enabled
+        self.queue = Store(self.sim, name="camera", capacity=buffer_count)
+        self.frames_produced = 0
+        self.frames_dropped = 0
+        self._rng = self.sim.rng.stream("camera")
+        self._running = False
+        self._hal_thread = None
+
+    @property
+    def isp_work_us(self):
+        """CPU work the camera HAL does per delivered frame."""
+        if not self.isp_enabled:
+            return 0.0
+        height, width = self.resolution
+        return height * width * self.ISP_NS_PER_PIXEL / 1_000.0
+
+    def start(self):
+        """Begin frame delivery; idempotent.
+
+        The HAL runs as a high-priority *thread*, not a free-running
+        process: the per-frame ISP work (demosaic, 3A) competes for CPU
+        with everything else, which is how background CPU load delays
+        frame delivery (one of the Fig. 10 coupling paths).
+        """
+        if self._running:
+            return
+        self._running = True
+        self._hal_thread = self.kernel.spawn(
+            self._delivery_loop(), name="camera:hal", nice=-2
+        )
+
+    def _delivery_loop(self):
+        from repro.android.thread import Sleep, Work
+
+        height, width = self.resolution
+        while True:
+            jitter = self._rng.normal(0.0, self.jitter_fraction)
+            interval = self.frame_interval_us * max(0.5, 1.0 + jitter)
+            yield Sleep(interval)
+            if self.isp_work_us > 0:
+                yield Work(self.isp_work_us, label="camera:isp")
+            frame = FrameDescriptor(
+                sequence=self.frames_produced,
+                timestamp_us=self.sim.now,
+                height=height,
+                width=width,
+            )
+            self.frames_produced += 1
+            self.frames_dropped += self.queue.put(frame)
+            if self.sim.trace is not None:
+                self.sim.trace.count("camera_frames")
+
+    def capture(self):
+        """Thread-body generator: wait for and receive the next frame.
+
+        Returns the :class:`FrameDescriptor`. The binder transaction to
+        the camera service and the buffer handling are charged to the
+        calling thread.
+        """
+        if not self._running:
+            raise RuntimeError("capture() before start()")
+        frame = yield WaitFor(self.queue.get())
+        # Buffer rotation + metadata handling in the app process.
+        yield Work(os_params.BINDER_CALL_US, label="camera:acquire")
+        return frame

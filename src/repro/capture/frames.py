@@ -1,0 +1,43 @@
+"""Frame descriptors and synthetic sensor data."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FrameDescriptor:
+    """Metadata of one camera frame in the HAL buffer queue."""
+
+    sequence: int
+    timestamp_us: float
+    height: int
+    width: int
+    format: str = "NV21"
+
+    @property
+    def nbytes(self):
+        if self.format == "NV21":
+            return self.height * self.width * 3 // 2
+        if self.format == "RGB":
+            return self.height * self.width * 3
+        raise ValueError(f"unknown frame format {self.format!r}")
+
+
+def synthesize_nv21(rng, height, width):
+    """A random-scene NV21 byte buffer (smooth luma + blocky chroma)."""
+    if height % 2 or width % 2:
+        raise ValueError("NV21 needs even dimensions")
+    # Smooth-ish luma: low-res noise upsampled, plus fine grain.
+    coarse = rng.integers(40, 216, size=(height // 8 + 1, width // 8 + 1))
+    luma = np.repeat(np.repeat(coarse, 8, axis=0), 8, axis=1)[:height, :width]
+    luma = np.clip(luma + rng.integers(-8, 9, size=(height, width)), 0, 255)
+    chroma = rng.integers(96, 160, size=(height // 2) * (width // 2) * 2)
+    return np.concatenate(
+        [luma.reshape(-1), chroma.reshape(-1)]
+    ).astype(np.uint8)
+
+
+def synthesize_rgb(rng, height, width):
+    """A random RGB uint8 frame for pipelines that skip YUV."""
+    return rng.integers(0, 256, size=(height, width, 3)).astype(np.uint8)

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``models``
+    List the Table-I model zoo with measured graph statistics.
+``socs``
+    List the Table-II platforms.
+``run``
+    Simulate one pipeline configuration and print its AI-tax breakdown.
+``experiment``
+    Regenerate one paper table/figure by id (``fig5``, ``table1``, ...).
+``report``
+    Regenerate everything (the EXPERIMENTS.md content).
+"""
+
+import argparse
+
+from repro.apps import PipelineConfig, run_pipeline
+from repro.apps.harness import CONTEXTS
+from repro.apps.sessions import TARGETS
+from repro.core import breakdown
+from repro.core.report import render_breakdown
+from repro.core.variability import VariabilityStats
+from repro.experiments import REGISTRY, run_experiment
+from repro.models import MODEL_CARDS
+from repro.soc import SOC_SPECS
+
+
+def _cmd_models(_args):
+    print(run_experiment("table1").render())
+    return 0
+
+
+def _cmd_socs(_args):
+    print(run_experiment("table2").render())
+    return 0
+
+
+def _cmd_run(args):
+    if args.config is not None:
+        import json
+
+        from repro.apps.harness import config_from_dict
+
+        with open(args.config) as handle:
+            config = config_from_dict(json.load(handle))
+    else:
+        config = PipelineConfig(
+            model_key=args.model,
+            dtype=args.dtype,
+            context=args.context,
+            target=args.target,
+            runs=args.runs,
+            soc=args.soc,
+            seed=args.seed,
+        )
+    records = run_pipeline(config)
+    result = breakdown(records)
+    print(render_breakdown(result))
+    stats = VariabilityStats.from_collection(records)
+    print(
+        f"\nlatency: median {stats.median_ms:.2f} ms, "
+        f"p95 {stats.p95_ms:.2f} ms, CV {stats.cv:.1%}, "
+        f"max |dev| from median {stats.max_deviation_from_median:.1%}"
+    )
+    print(f"AI tax fraction: {result.tax_fraction:.1%}")
+    return 0
+
+
+def _cmd_experiment(args):
+    kwargs = {}
+    if args.runs is not None:
+        kwargs["runs"] = args.runs
+    result = run_experiment(args.id, **kwargs)
+    print(result.render())
+    if args.chart:
+        from repro.experiments.charts import render_chart
+
+        chart = render_chart(result)
+        if chart is None:
+            print("(no chart defined for this experiment)")
+        else:
+            print()
+            print(chart)
+    if args.json is not None:
+        from repro.core.export import experiment_to_json
+
+        experiment_to_json(result, path=args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_summary(_args):
+    """Re-validate the paper's takeaways and show the repo inventory."""
+    result = run_experiment("takeaways", runs=8)
+    print(result.render())
+    print()
+    print(f"models in the zoo:        {len(MODEL_CARDS)}")
+    print(f"simulated platforms:      {len(SOC_SPECS)}")
+    print(f"registered experiments:   {len(REGISTRY)}")
+    holds = all(row[3] for row in result.rows)
+    print(f"all takeaways hold:       {'yes' if holds else 'NO'}")
+    return 0 if holds else 1
+
+
+def _cmd_report(args):
+    order = sorted(REGISTRY)
+    for experiment_id in order:
+        kwargs = {}
+        if args.fast and "runs" in _runs_parameter(experiment_id):
+            kwargs["runs"] = 5
+        result = run_experiment(experiment_id, **kwargs)
+        print(result.render())
+        print()
+    return 0
+
+
+def _runs_parameter(experiment_id):
+    import inspect
+
+    return inspect.signature(REGISTRY[experiment_id]).parameters
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AI Tax in Mobile SoCs (ISPASS 2021) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the Table-I model zoo")
+    sub.add_parser("socs", help="list the Table-II platforms")
+    sub.add_parser(
+        "summary", help="re-validate the paper takeaways + inventory"
+    )
+
+    run_parser = sub.add_parser("run", help="simulate one configuration")
+    run_parser.add_argument("--model", default="mobilenet_v1",
+                            choices=sorted(MODEL_CARDS))
+    run_parser.add_argument("--dtype", default="fp32",
+                            choices=("fp32", "int8", "fp16"))
+    run_parser.add_argument("--context", default="app", choices=CONTEXTS)
+    run_parser.add_argument("--target", default="nnapi", choices=TARGETS)
+    run_parser.add_argument("--runs", type=int, default=20)
+    run_parser.add_argument("--soc", default="sd845",
+                            choices=sorted(SOC_SPECS))
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--config", default=None, metavar="PATH",
+        help="load the full PipelineConfig from a JSON file "
+             "(overrides the other run flags)",
+    )
+
+    experiment_parser = sub.add_parser(
+        "experiment", help="regenerate one table/figure"
+    )
+    experiment_parser.add_argument("id", choices=sorted(REGISTRY))
+    experiment_parser.add_argument("--runs", type=int, default=None)
+    experiment_parser.add_argument(
+        "--chart", action="store_true",
+        help="render a terminal chart shaped like the paper's figure",
+    )
+    experiment_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the result as JSON",
+    )
+
+    report_parser = sub.add_parser("report", help="regenerate everything")
+    report_parser.add_argument("--fast", action="store_true")
+    return parser
+
+
+_HANDLERS = {
+    "models": _cmd_models,
+    "summary": _cmd_summary,
+    "socs": _cmd_socs,
+    "run": _cmd_run,
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

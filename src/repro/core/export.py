@@ -1,0 +1,146 @@
+"""Result export: run collections and experiment results to CSV/JSON.
+
+Downstream analysis (pandas, spreadsheets, plotting) wants flat files;
+these helpers serialize the two result types without adding any
+dependency beyond the standard library.
+"""
+
+import csv
+import io
+import json
+
+_RUN_FIELDS = (
+    "index", "capture_ms", "pre_ms", "inference_ms", "post_ms",
+    "other_ms", "total_ms", "tax_fraction",
+)
+
+
+def runs_to_rows(collection):
+    """Flatten a RunCollection into dict rows (ms units)."""
+    rows = []
+    for index, run in enumerate(collection):
+        rows.append(
+            {
+                "index": index,
+                "capture_ms": run.capture_us / 1000.0,
+                "pre_ms": run.pre_us / 1000.0,
+                "inference_ms": run.inference_us / 1000.0,
+                "post_ms": run.post_us / 1000.0,
+                "other_ms": run.other_us / 1000.0,
+                "total_ms": run.total_us / 1000.0,
+                "tax_fraction": run.tax_fraction,
+            }
+        )
+    return rows
+
+
+def runs_to_csv(collection, path=None):
+    """CSV text (or file) for a RunCollection; returns the CSV string."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_RUN_FIELDS)
+    writer.writeheader()
+    for row in runs_to_rows(collection):
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+def experiment_to_dict(result):
+    """JSON-ready dict for an ExperimentResult."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "series": {key: list(value) for key, value in result.series.items()},
+        "notes": list(result.notes),
+    }
+
+
+def experiment_to_json(result, path=None, indent=2):
+    """JSON text (or file) for an ExperimentResult."""
+    text = json.dumps(experiment_to_dict(result), indent=indent, default=str)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text
+
+
+def experiment_to_csv(result, path=None):
+    """CSV text (or file) of an ExperimentResult's table."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+def rows_to_runs(rows, name="imported"):
+    """Rebuild a RunCollection from :func:`runs_to_rows` output."""
+    from repro.core.measurement import PipelineRun, RunCollection
+
+    collection = RunCollection(name=name)
+    for row in rows:
+        collection.add(
+            PipelineRun(
+                capture_us=float(row["capture_ms"]) * 1000.0,
+                pre_us=float(row["pre_ms"]) * 1000.0,
+                inference_us=float(row["inference_ms"]) * 1000.0,
+                post_us=float(row["post_ms"]) * 1000.0,
+                other_us=float(row["other_ms"]) * 1000.0,
+            )
+        )
+    return collection
+
+
+def runs_from_csv(path_or_text, name="imported"):
+    """Load a RunCollection from CSV written by :func:`runs_to_csv`."""
+    import os
+
+    if isinstance(path_or_text, str) and not os.path.exists(path_or_text):
+        text = path_or_text
+    else:
+        with open(path_or_text) as handle:
+            text = handle.read()
+    rows = list(csv.DictReader(io.StringIO(text)))
+    return rows_to_runs(rows, name=name)
+
+
+def compare_experiments(baseline, current, rel_tolerance=0.15):
+    """Diff two experiment result dicts; returns drift findings.
+
+    Intended for calibration-regression checks: export a baseline with
+    :func:`experiment_to_dict`, re-run later, and compare. Numeric cells
+    differing by more than ``rel_tolerance`` (relative) are reported as
+    ``(row_key, column, baseline_value, current_value)``.
+    """
+    if baseline["experiment_id"] != current["experiment_id"]:
+        raise ValueError(
+            f"experiment mismatch: {baseline['experiment_id']} vs "
+            f"{current['experiment_id']}"
+        )
+    if baseline["headers"] != current["headers"]:
+        raise ValueError("headers changed between baseline and current")
+    headers = baseline["headers"]
+    findings = []
+    for old_row, new_row in zip(baseline["rows"], current["rows"]):
+        for column, old_value, new_value in zip(headers, old_row, new_row):
+            if not isinstance(old_value, (int, float)) or isinstance(
+                old_value, bool
+            ):
+                continue
+            if not isinstance(new_value, (int, float)):
+                findings.append((old_row[0], column, old_value, new_value))
+                continue
+            scale = max(abs(old_value), 1e-12)
+            if abs(new_value - old_value) / scale > rel_tolerance:
+                findings.append((old_row[0], column, old_value, new_value))
+    return findings

@@ -1,0 +1,140 @@
+"""Stage-level measurements of pipeline runs."""
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.taxonomy import (
+    STAGE_CAPTURE,
+    STAGE_INFERENCE,
+    STAGE_POST,
+    STAGE_PRE,
+)
+from repro.sim import units
+
+
+@dataclass
+class PipelineRun:
+    """Per-stage latencies (simulated microseconds) of one iteration."""
+
+    capture_us: float = 0.0
+    pre_us: float = 0.0
+    inference_us: float = 0.0
+    post_us: float = 0.0
+    #: Anything else attributable to the run (UI, framework glue).
+    other_us: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def total_us(self):
+        return (
+            self.capture_us
+            + self.pre_us
+            + self.inference_us
+            + self.post_us
+            + self.other_us
+        )
+
+    @property
+    def tax_us(self):
+        """Non-inference time: the AI tax of this run."""
+        return self.total_us - self.inference_us
+
+    @property
+    def tax_fraction(self):
+        total = self.total_us
+        return self.tax_us / total if total > 0 else 0.0
+
+    def stage_us(self, stage):
+        mapping = {
+            STAGE_CAPTURE: self.capture_us,
+            STAGE_PRE: self.pre_us,
+            STAGE_INFERENCE: self.inference_us,
+            STAGE_POST: self.post_us,
+        }
+        try:
+            return mapping[stage]
+        except KeyError:
+            raise KeyError(f"unknown stage {stage!r}") from None
+
+    def as_ms(self):
+        """Dict of stage -> milliseconds, for reports."""
+        return {
+            "capture": units.to_ms(self.capture_us),
+            "pre": units.to_ms(self.pre_us),
+            "inference": units.to_ms(self.inference_us),
+            "post": units.to_ms(self.post_us),
+            "other": units.to_ms(self.other_us),
+            "total": units.to_ms(self.total_us),
+        }
+
+
+def _mean(values):
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def _percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    index = fraction * (len(sorted_values) - 1)
+    lower = int(math.floor(index))
+    upper = int(math.ceil(index))
+    weight = index - lower
+    low_value = sorted_values[lower]
+    # a + w*(b-a) is exact when a == b (no float round-off past b).
+    return low_value + weight * (sorted_values[upper] - low_value)
+
+
+@dataclass
+class RunCollection:
+    """A set of runs of the same configuration, with statistics."""
+
+    name: str
+    runs: list = field(default_factory=list)
+
+    def add(self, run):
+        self.runs.append(run)
+
+    def __len__(self):
+        return len(self.runs)
+
+    def __iter__(self):
+        return iter(self.runs)
+
+    def _values(self, attribute):
+        return [getattr(run, attribute) for run in self.runs]
+
+    def mean_us(self, attribute="total_us"):
+        return _mean(self._values(attribute))
+
+    def median_us(self, attribute="total_us"):
+        return _percentile(sorted(self._values(attribute)), 0.5)
+
+    def percentile_us(self, fraction, attribute="total_us"):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0,1], got {fraction}")
+        return _percentile(sorted(self._values(attribute)), fraction)
+
+    def std_us(self, attribute="total_us"):
+        values = self._values(attribute)
+        if len(values) < 2:
+            return 0.0
+        mean = _mean(values)
+        return math.sqrt(sum((v - mean) ** 2 for v in values) / (len(values) - 1))
+
+    def mean_run(self):
+        """A synthetic run whose stages are the per-stage means."""
+        return PipelineRun(
+            capture_us=self.mean_us("capture_us"),
+            pre_us=self.mean_us("pre_us"),
+            inference_us=self.mean_us("inference_us"),
+            post_us=self.mean_us("post_us"),
+            other_us=self.mean_us("other_us"),
+            meta={"n": len(self.runs), "name": self.name},
+        )
+
+    def drop_warmup(self, count=1):
+        """A new collection without the first ``count`` (cold) runs."""
+        return RunCollection(name=self.name, runs=self.runs[count:])

@@ -1,0 +1,38 @@
+"""Instrumentation probe-effect model (paper §III-D).
+
+The authors measured their driver instrumentation at a 4-7% inference
+slowdown when hardware acceleration is enabled (extra trace points in
+the RPC path) and no effect on CPU-only runs. This model lets the
+harness report both raw and instrumented numbers, and tests assert the
+effect stays inside the paper's band.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProbeEffect:
+    """Multiplicative instrumentation overhead on inference latency."""
+
+    #: Overhead factor applied when offload drivers are instrumented.
+    accelerated_overhead: float = 0.055  # mid of the paper's 4-7% band
+    #: CPU-only runs are unaffected (§III-D).
+    cpu_overhead: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.accelerated_overhead < 1.0:
+            raise ValueError("overhead factor out of range")
+
+    def apply(self, inference_us, accelerated):
+        """Instrumented inference latency for a raw latency."""
+        factor = 1.0 + (
+            self.accelerated_overhead if accelerated else self.cpu_overhead
+        )
+        return inference_us * factor
+
+    def overhead_fraction(self, accelerated):
+        return self.accelerated_overhead if accelerated else self.cpu_overhead
+
+    def within_paper_band(self):
+        """True when the accelerated overhead is inside 4-7%."""
+        return 0.04 <= self.accelerated_overhead <= 0.07

@@ -1,0 +1,72 @@
+"""The Fig.-1 taxonomy of AI-tax overheads.
+
+End-to-end performance = AI model execution + AI tax, where the tax has
+three categories, each with concrete sources:
+
+* **Algorithms** — data capture, pre-processing, post-processing;
+* **Frameworks** — drivers, offload scheduling;
+* **Hardware** — offload costs, multitenancy, run-to-run variability.
+"""
+
+# Pipeline stages (paper §II, Fig. 2).
+STAGE_CAPTURE = "data_capture"
+STAGE_PRE = "pre_processing"
+STAGE_INFERENCE = "inference"
+STAGE_POST = "post_processing"
+STAGE_FRAMEWORK = "framework"
+
+#: Execution-order stage list for one pipeline iteration.
+STAGES = (STAGE_CAPTURE, STAGE_PRE, STAGE_INFERENCE, STAGE_POST)
+
+#: The stages that constitute AI tax (everything but model execution).
+TAX_STAGES = (STAGE_CAPTURE, STAGE_PRE, STAGE_POST, STAGE_FRAMEWORK)
+
+# Tax categories (paper Fig. 1).
+CATEGORY_ALGORITHMS = "algorithms"
+CATEGORY_FRAMEWORKS = "frameworks"
+CATEGORY_HARDWARE = "hardware"
+
+_STAGE_TO_CATEGORY = {
+    STAGE_CAPTURE: CATEGORY_ALGORITHMS,
+    STAGE_PRE: CATEGORY_ALGORITHMS,
+    STAGE_POST: CATEGORY_ALGORITHMS,
+    STAGE_FRAMEWORK: CATEGORY_FRAMEWORKS,
+}
+
+#: Overhead sources per category, as drawn in Fig. 1.
+TAXONOMY_SOURCES = {
+    CATEGORY_ALGORITHMS: ("data_capture", "pre_processing", "post_processing"),
+    CATEGORY_FRAMEWORKS: ("drivers", "offload_scheduling"),
+    CATEGORY_HARDWARE: ("offload", "multitenancy", "run_to_run_variability"),
+}
+
+
+def stage_category(stage):
+    """Tax category of a pipeline stage (inference has none)."""
+    if stage == STAGE_INFERENCE:
+        raise ValueError("inference is model execution, not AI tax")
+    try:
+        return _STAGE_TO_CATEGORY[stage]
+    except KeyError:
+        raise KeyError(f"unknown stage {stage!r}") from None
+
+
+class Taxonomy:
+    """Convenience view over the Fig.-1 tree, mostly for reports."""
+
+    categories = (CATEGORY_ALGORITHMS, CATEGORY_FRAMEWORKS, CATEGORY_HARDWARE)
+
+    @staticmethod
+    def sources(category):
+        try:
+            return TAXONOMY_SOURCES[category]
+        except KeyError:
+            raise KeyError(f"unknown category {category!r}") from None
+
+    @staticmethod
+    def describe():
+        lines = ["AI tax taxonomy (paper Fig. 1):"]
+        for category in Taxonomy.categories:
+            sources = ", ".join(TAXONOMY_SOURCES[category])
+            lines.append(f"  {category}: {sources}")
+        return "\n".join(lines)

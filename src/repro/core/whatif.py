@@ -1,0 +1,84 @@
+"""What-if analysis: where should optimization effort go?
+
+The paper's stated purpose for the AI-tax lens is to "steer the mobile
+systems community towards fruitful research areas and narrow in on the
+parts of a system that are sources of performance bottlenecks and need
+optimization". These helpers answer the resulting question directly:
+given a measured stage breakdown, how much does the *end-to-end* number
+improve if a given stage gets k-times faster (Amdahl over the pipeline)?
+"""
+
+from dataclasses import dataclass
+
+_STAGE_ATTRS = {
+    "data_capture": "capture_ms",
+    "pre_processing": "pre_ms",
+    "inference": "inference_ms",
+    "post_processing": "post_ms",
+    "other": "other_ms",
+}
+
+
+@dataclass(frozen=True)
+class StageImpact:
+    """Effect of speeding one stage up by ``factor``."""
+
+    stage: str
+    stage_ms: float
+    stage_share: float
+    factor: float
+    new_total_ms: float
+    end_to_end_speedup: float
+
+
+def stage_speedup_impact(stage_breakdown, stage, factor=2.0):
+    """End-to-end effect of making ``stage`` ``factor``x faster.
+
+    ``factor=float("inf")`` models eliminating the stage entirely.
+    """
+    try:
+        attr = _STAGE_ATTRS[stage]
+    except KeyError:
+        raise KeyError(
+            f"unknown stage {stage!r}; known: {sorted(_STAGE_ATTRS)}"
+        ) from None
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    total = stage_breakdown.total_ms
+    stage_ms = getattr(stage_breakdown, attr)
+    new_stage_ms = 0.0 if factor == float("inf") else stage_ms / factor
+    new_total = total - stage_ms + new_stage_ms
+    return StageImpact(
+        stage=stage,
+        stage_ms=stage_ms,
+        stage_share=stage_ms / total if total else 0.0,
+        factor=factor,
+        new_total_ms=new_total,
+        end_to_end_speedup=total / new_total if new_total else float("inf"),
+    )
+
+
+def optimization_priorities(stage_breakdown, factor=2.0):
+    """All stages ranked by end-to-end payoff of a ``factor``x speedup.
+
+    The paper's headline instance: for many models, halving
+    pre-processing beats halving inference.
+    """
+    impacts = [
+        stage_speedup_impact(stage_breakdown, stage, factor)
+        for stage in _STAGE_ATTRS
+    ]
+    impacts.sort(key=lambda impact: -impact.end_to_end_speedup)
+    return impacts
+
+
+def accelerator_upgrade_ceiling(stage_breakdown):
+    """Best possible end-to-end speedup from an infinitely fast NPU.
+
+    The Amdahl ceiling the paper warns SoC designers about: silicon that
+    only accelerates inference cannot beat ``1 / tax_fraction``.
+    """
+    impact = stage_speedup_impact(
+        stage_breakdown, "inference", factor=float("inf")
+    )
+    return impact.end_to_end_speedup

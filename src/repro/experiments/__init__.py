@@ -1,0 +1,28 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every module exposes ``run(**kwargs) -> ExperimentResult`` and is
+registered here by its paper id. ``repro.experiments.run_experiment``
+is the single entry point used by the benchmark suite, the examples,
+and EXPERIMENTS.md generation.
+"""
+
+from repro.experiments.base import ExperimentResult, run_experiment, REGISTRY
+from repro.experiments import (  # noqa: F401  (registration side effects)
+    ablations,
+    extensions,
+    optimizations,
+    takeaways,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+    table2,
+)
+
+__all__ = ["ExperimentResult", "run_experiment", "REGISTRY"]

@@ -1,0 +1,44 @@
+"""Fig. 5: quantized EfficientNet-Lite0 across four TFLite targets.
+
+The paper's headline framework pitfall: NNAPI's automatic device
+assignment degrades this model ~7x versus a single-threaded CPU because
+lagging quantized-op driver support pushes the whole graph onto the
+runtime's reference kernels.
+"""
+
+from repro.apps import PipelineConfig, run_pipeline
+from repro.core import breakdown
+from repro.experiments.base import ExperimentResult, experiment
+
+TARGETS = ("hexagon", "cpu", "cpu1", "nnapi")
+
+
+@experiment("fig5")
+def run(runs=10, seed=0, model_key="efficientnet_lite0", dtype="int8"):
+    headers = ("Target", "inference ms", "slowdown vs cpu1")
+    latencies = {}
+    for target in TARGETS:
+        config = PipelineConfig(
+            model_key=model_key,
+            dtype=dtype,
+            context="cli",
+            target=target,
+            runs=runs,
+            seed=seed,
+        )
+        latencies[target] = breakdown(run_pipeline(config)).inference_ms
+    rows = [
+        (target, latencies[target], latencies[target] / latencies["cpu1"])
+        for target in TARGETS
+    ]
+    return ExperimentResult(
+        experiment_id="fig5",
+        title=f"{model_key} [{dtype}]: TFLite target comparison",
+        headers=headers,
+        rows=rows,
+        series={"latency_ms": [latencies[t] for t in TARGETS]},
+        notes=[
+            "paper: NNAPI ~7x slower than single-threaded CPU",
+            "expected order: hexagon < cpu(4T) < cpu1 << nnapi",
+        ],
+    )

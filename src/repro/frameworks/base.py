@@ -1,0 +1,81 @@
+"""Common framework abstractions."""
+
+from dataclasses import dataclass, field
+
+#: NNAPI execution preferences (the benchmarks default to
+#: FAST_SINGLE_ANSWER, §III-B).
+FAST_SINGLE_ANSWER = "fast_single_answer"
+SUSTAINED_SPEED = "sustained_speed"
+LOW_POWER = "low_power"
+
+EXECUTION_PREFERENCES = (FAST_SINGLE_ANSWER, SUSTAINED_SPEED, LOW_POWER)
+
+
+class UnsupportedModelError(Exception):
+    """Raised when a framework/delegate cannot run a model at all."""
+
+
+@dataclass
+class Partition:
+    """A contiguous run of ops assigned to one device."""
+
+    device: str  # "cpu", "gpu", "dsp"
+    ops: tuple
+    index: int = 0
+
+    @property
+    def op_count(self):
+        return len(self.ops)
+
+    @property
+    def flops(self):
+        return sum(op.flops for op in self.ops)
+
+
+@dataclass
+class InferenceStats:
+    """Accounting for one session across its lifetime."""
+
+    model_name: str = ""
+    framework: str = ""
+    init_us: float = 0.0
+    compile_us: float = 0.0
+    invocations: int = 0
+    invoke_us_total: float = 0.0
+    compute_us_total: float = 0.0
+    offload_us_total: float = 0.0
+    partition_crossings: int = 0
+    per_invoke_us: list = field(default_factory=list)
+
+    @property
+    def mean_invoke_us(self):
+        if not self.per_invoke_us:
+            return 0.0
+        return sum(self.per_invoke_us) / len(self.per_invoke_us)
+
+    def record_invoke(self, duration_us):
+        self.invocations += 1
+        self.invoke_us_total += duration_us
+        self.per_invoke_us.append(duration_us)
+
+
+class InferenceSession:
+    """Interface all runtimes implement.
+
+    ``prepare()`` and ``invoke()`` are generators to ``yield from``
+    inside a :class:`~repro.android.thread.SimThread` body. ``prepare``
+    is the one-time model load/compile; ``invoke`` runs one inference
+    and returns its wall duration in simulated microseconds.
+    """
+
+    stats: InferenceStats
+
+    def prepare(self):
+        raise NotImplementedError
+
+    def invoke(self):
+        raise NotImplementedError
+
+    def describe_plan(self):
+        """Human-readable device placement, for reports."""
+        raise NotImplementedError

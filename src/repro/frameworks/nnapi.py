@@ -1,0 +1,285 @@
+"""The NNAPI runtime: compilation, partitioning, and CPU fallback.
+
+NNAPI (paper §II-D) compiles a model once: it asks each vendor driver
+which ops it supports, slices the graph into contiguous partitions, and
+assigns each partition to a device. Unsupported ops — and accelerator
+runs too short to be worth a crossing — execute on the runtime's
+*reference* CPU kernels, single-threaded.
+
+This is the machinery behind the paper's Fig. 5: quantized
+EfficientNet-Lite0's residual ``ADD`` ops are missing from the DSP
+driver, the graph shatters into sub-minimum fragments, everything lands
+on the slow reference path, and end-to-end latency degrades ~7x versus
+just using the tuned single-thread CPU kernels directly.
+"""
+
+from repro.android.thread import Sleep, WaitFor, Work
+from repro.frameworks.base import (
+    FAST_SINGLE_ANSWER,
+    EXECUTION_PREFERENCES,
+    InferenceSession,
+    InferenceStats,
+    Partition,
+)
+from repro.frameworks.cpu_kernels import (
+    IMPL_REFERENCE,
+    graph_cpu_work_us,
+)
+from repro.frameworks.support import supports_op
+from repro.frameworks.tflite import run_graph_on_cpu
+from repro.models.tensor import dtype_bytes
+
+#: Compilation cost: base plus per-op partitioning work.
+_COMPILE_BASE_US = 900.0
+_COMPILE_PER_OP_US = 6.0
+#: Accelerator runs shorter than this are demoted to the CPU.
+_MIN_ACCELERATOR_RUN = 3
+#: CPU-side cost of handing a partition across a device boundary.
+_BOUNDARY_DISPATCH_US = 14.0
+#: Device-boundary density above which the runtime abandons the
+#: accelerator plan and executes everything on its single-threaded
+#: reference kernels. An over-fragmented plan means the driver rejects
+#: more of the graph than the crossings are worth; the runtime's escape
+#: hatch is the slow portable path — the paper's Fig. 5 failure mode.
+_MAX_FRAGMENTATION = 0.18
+
+
+class NnapiSession(InferenceSession):
+    """An NNAPI compilation + execution for one model."""
+
+    def __init__(self, kernel, model, preference=FAST_SINGLE_ANSWER,
+                 min_accelerator_run=_MIN_ACCELERATOR_RUN, threads=4,
+                 feature_level=None):
+        if preference not in EXECUTION_PREFERENCES:
+            raise ValueError(f"unknown execution preference {preference!r}")
+        self.kernel = kernel
+        self.model = model
+        self.preference = preference
+        #: NNAPI feature level; defaults to what the platform ships.
+        if feature_level is None:
+            feature_level = getattr(
+                kernel.soc.spec, "nnapi_feature_level", 1.1
+            )
+        self.feature_level = feature_level
+        self.min_accelerator_run = min_accelerator_run
+        #: Interpreter threads used for partitions the driver rejected
+        #: (TFLite keeps those ops on its own tuned kernels).
+        self.threads = threads
+        self.partitions = []
+        self.reference_fallback = False
+        self.prepared = False
+        self._channel = None
+        self.stats = InferenceStats(model_name=model.name, framework="nnapi")
+
+    # -- compilation -----------------------------------------------------
+
+    @property
+    def accelerator_backend(self):
+        """Which vendor driver NNAPI consults for this dtype."""
+        return "nnapi-dsp" if self.model.dtype == "int8" else "nnapi-gpu"
+
+    def plan_partitions(self):
+        """Slice the graph into device partitions (pure, no simulation)."""
+        backend = self.accelerator_backend
+        dtype = self.model.dtype
+        device = "dsp" if backend == "nnapi-dsp" else "gpu"
+        runs = []
+        current_device = None
+        current_ops = []
+        for op in self.model.ops:
+            supported = supports_op(
+                backend, op, dtype, feature_level=self.feature_level
+            )
+            target = device if supported else "cpu"
+            if target != current_device and current_ops:
+                runs.append(Partition(current_device, tuple(current_ops)))
+                current_ops = []
+            current_device = target
+            current_ops.append(op)
+        if current_ops:
+            runs.append(Partition(current_device, tuple(current_ops)))
+
+        # Demote accelerator runs too short to amortize a crossing.
+        for partition in runs:
+            if partition.device != "cpu" and partition.op_count < self.min_accelerator_run:
+                partition.device = "cpu"
+        # Merge adjacent same-device runs.
+        merged = []
+        for partition in runs:
+            if merged and merged[-1].device == partition.device:
+                merged[-1] = Partition(
+                    partition.device, merged[-1].ops + partition.ops
+                )
+            else:
+                merged.append(partition)
+        for index, partition in enumerate(merged):
+            partition.index = index
+
+        # Over-fragmented plan: the runtime gives up on the accelerator
+        # and executes the whole model on reference kernels.
+        fragmentation = (len(merged) - 1) / max(1, self.model.op_count)
+        if fragmentation > _MAX_FRAGMENTATION:
+            self.reference_fallback = True
+            return [Partition("cpu-reference", tuple(self.model.ops))]
+        self.reference_fallback = False
+        return merged
+
+    def prepare(self):
+        """Model compilation (paper: performed once per model load)."""
+        start = self.kernel.now
+        yield Work(
+            _COMPILE_BASE_US + self.model.op_count * _COMPILE_PER_OP_US,
+            label="nnapi:compile",
+        )
+        self.partitions = self.plan_partitions()
+        devices = {partition.device for partition in self.partitions}
+        if "dsp" in devices or self.model.dtype == "int8":
+            # The DSP driver is probed during compilation (capability
+            # query + test handshake) — the brief cDSP spike at the
+            # start of the paper's Fig. 6 NNAPI profile, present even
+            # when execution later falls back to the CPU.
+            channel = self._dsp_channel()
+            yield from channel.open_session()
+            yield from channel.invoke(
+                4_096, 256, dsp_compute_us=150.0, label="nnapi:probe"
+            )
+        if "gpu" in devices:
+            gpu = self.kernel.soc.gpu
+            yield Work(gpu.init_time_us * 0.4, label="nnapi:gpu_compile")
+            yield Sleep(gpu.init_time_us * 0.6)
+        if self.preference == "sustained_speed":
+            # Cap the boost clock: trades peak latency for a thermally
+            # sustainable operating point (no throttle cycling).
+            self.kernel.soc.big_cluster.governor.max_fraction = 0.85
+        self.prepared = True
+        self.stats.compile_us = self.kernel.now - start
+        self.stats.init_us = self.stats.compile_us
+
+    def _dsp_channel(self):
+        if self._channel is None:
+            from repro.android.fastrpc import FastRpcChannel
+
+            self._channel = FastRpcChannel(
+                self.kernel, process_id=id(self) % 100_000
+            )
+        return self._channel
+
+    # -- execution ---------------------------------------------------------
+
+    def _boundary_bytes(self, partition):
+        item = dtype_bytes(self.model.dtype)
+        first, last = partition.ops[0], partition.ops[-1]
+        return first.input_elems * item, last.output_elems * item
+
+    def invoke(self):
+        """One inference across the partition plan."""
+        if not self.prepared:
+            raise RuntimeError("invoke() before prepare()")
+        kernel = self.kernel
+        soc = kernel.soc
+        start = kernel.now
+        crossings = 0
+        previous_device = None
+        for partition in self.partitions:
+            if previous_device is not None and partition.device != previous_device:
+                crossings += 1
+                in_bytes, _ = self._boundary_bytes(partition)
+                yield Work(
+                    _BOUNDARY_DISPATCH_US + soc.memory.dram_copy_us(in_bytes),
+                    label="nnapi:boundary",
+                )
+            previous_device = partition.device
+
+            if partition.device == "cpu-reference":
+                # The runtime's portable kernels: single-threaded scalar
+                # loops on the caller thread (paper Fig. 5 / Fig. 6).
+                work = graph_cpu_work_us(
+                    partition.ops, self.model.dtype, IMPL_REFERENCE
+                )
+                yield Work(work, label="nnapi:reference")
+                self.stats.compute_us_total += work
+            elif partition.device == "cpu":
+                # Driver-rejected ops stay in TFLite's tuned kernels on
+                # the interpreter's thread pool (partial delegation, the
+                # Inception situation of §IV-A). The execution
+                # preference steers placement: LOW_POWER keeps CPU work
+                # on the little cluster with fewer threads.
+                threads = self.threads
+                affinity = None
+                if self.preference == "low_power":
+                    threads = min(self.threads, 2)
+                    affinity = {
+                        core.core_id for core in soc.little_cores
+                    }
+                work = yield from run_graph_on_cpu(
+                    self.kernel,
+                    partition.ops,
+                    self.model.dtype,
+                    threads=threads,
+                    label="nnapi:cpu_partition",
+                    affinity=affinity,
+                )
+                self.stats.compute_us_total += work
+            elif partition.device == "dsp":
+                in_bytes, out_bytes = self._boundary_bytes(partition)
+                compute = soc.dsp.graph_time_us(partition.ops, "int8")
+                before = self._dsp_channel().stats.offload_overhead_us
+                yield from self._dsp_channel().invoke(
+                    in_bytes, out_bytes, compute,
+                    label=f"nnapi:{self.model.name}[{partition.index}]",
+                )
+                self.stats.offload_us_total += (
+                    self._dsp_channel().stats.offload_overhead_us - before
+                )
+                self.stats.compute_us_total += compute
+            elif partition.device == "gpu":
+                in_bytes, out_bytes = self._boundary_bytes(partition)
+                yield Work(soc.memory.dram_copy_us(in_bytes), label="nnapi:upload")
+                request = soc.gpu.resource.request()
+                yield WaitFor(request)
+                try:
+                    compute = soc.gpu.graph_time_us(
+                        partition.ops, self.model.dtype
+                    )
+                    span = None
+                    if kernel.sim.trace is not None:
+                        span = kernel.sim.trace.begin("gpu", self.model.name)
+                    yield Sleep(compute)
+                    if span is not None:
+                        kernel.sim.trace.end(span)
+                    soc.energy.add_gpu_busy(compute)
+                finally:
+                    request.release()
+                yield Work(
+                    soc.memory.dram_copy_us(out_bytes), label="nnapi:readback"
+                )
+                self.stats.compute_us_total += compute
+            else:
+                raise RuntimeError(f"unknown device {partition.device!r}")
+        duration = kernel.now - start
+        self.stats.partition_crossings += crossings
+        self.stats.record_invoke(duration)
+        return duration
+
+    def describe_plan(self):
+        if not self.partitions:
+            self.partitions = self.plan_partitions()
+        pieces = [
+            f"{partition.device}x{partition.op_count}"
+            for partition in self.partitions
+        ]
+        return " -> ".join(pieces)
+
+    def accelerated_fraction(self):
+        """Fraction of FLOPs placed on an accelerator by the plan."""
+        if not self.partitions:
+            self.partitions = self.plan_partitions()
+        total = sum(partition.flops for partition in self.partitions)
+        if total == 0:
+            return 0.0
+        accelerated = sum(
+            partition.flops
+            for partition in self.partitions
+            if partition.device in ("dsp", "gpu")
+        )
+        return accelerated / total

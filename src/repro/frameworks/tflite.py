@@ -1,0 +1,113 @@
+"""TFLite-style interpreter with CPU execution and optional delegates.
+
+The interpreter owns model load/parse, then either runs the graph on N
+CPU threads with tuned kernels or hands the whole graph to a delegate
+(GPU or Hexagon). Matches the structure of the TFLite benchmark
+utility the paper uses (§III-B): init once, invoke many times.
+"""
+
+from repro.android.thread import Work
+from repro.frameworks.base import InferenceSession, InferenceStats, UnsupportedModelError
+from repro.frameworks.cpu_kernels import (
+    IMPL_TUNED,
+    graph_cpu_work_us,
+    parallel_efficiency,
+)
+
+#: Flatbuffer parse cost per op during model load.
+_PARSE_PER_OP_US = 1.5
+#: Interpreter tensor allocation per op.
+_ALLOC_PER_OP_US = 0.8
+
+
+def run_graph_on_cpu(kernel, ops, dtype, threads=4, impl=IMPL_TUNED,
+                     label="inference", affinity=None):
+    """Generator: execute an op list on ``threads`` CPU threads.
+
+    The calling thread acts as worker 0; helpers are spawned for the
+    rest and joined. Contention with background load emerges naturally
+    from the scheduler (paper Fig. 10).
+    """
+    total_work = graph_cpu_work_us(ops, dtype, impl)
+    if threads <= 1:
+        yield Work(total_work, label=label)
+        return total_work
+    efficiency = parallel_efficiency(threads)
+    share = total_work / (threads * efficiency)
+
+    def helper():
+        yield Work(share, label=f"{label}:worker")
+
+    helpers = [
+        kernel.spawn(helper(), name=f"{label}:w{index}", affinity=affinity)
+        for index in range(1, threads)
+    ]
+    yield Work(share, label=f"{label}:w0")
+    for thread in helpers:
+        if not thread.done.triggered:
+            from repro.android.thread import WaitFor
+
+            yield WaitFor(thread.done)
+    return total_work
+
+
+class TfliteInterpreter(InferenceSession):
+    """One TFLite interpreter instance bound to a model."""
+
+    def __init__(self, kernel, model, threads=4, delegate=None, affinity=None):
+        self.kernel = kernel
+        self.model = model
+        self.threads = threads
+        self.delegate = delegate
+        self.affinity = affinity
+        self.prepared = False
+        self.stats = InferenceStats(
+            model_name=model.name,
+            framework="tflite" if delegate is None else f"tflite+{delegate.name}",
+        )
+
+    def prepare(self):
+        """Model load + tensor allocation + delegate initialization."""
+        start = self.kernel.now
+        memory = self.kernel.soc.memory
+        load_us = memory.dram_copy_us(self.model.weight_bytes)
+        parse_us = self.model.op_count * (_PARSE_PER_OP_US + _ALLOC_PER_OP_US)
+        yield Work(load_us + parse_us, label="tflite:load")
+        if self.delegate is not None:
+            if not self.delegate.covers(self.model):
+                raise UnsupportedModelError(
+                    f"{self.delegate.name} cannot run {self.model.name} "
+                    f"[{self.model.dtype}]"
+                )
+            yield from self.delegate.init(self.model)
+        self.prepared = True
+        self.stats.init_us = self.kernel.now - start
+
+    def invoke(self):
+        """One inference; returns wall duration in simulated us."""
+        if not self.prepared:
+            raise RuntimeError("invoke() before prepare()")
+        start = self.kernel.now
+        if self.delegate is not None:
+            compute_us = yield from self.delegate.invoke(self.model)
+            self.stats.compute_us_total += compute_us
+        else:
+            work = yield from run_graph_on_cpu(
+                self.kernel,
+                self.model.ops,
+                self.model.dtype,
+                threads=self.threads,
+                label=f"{self.model.name}:cpu",
+                affinity=self.affinity,
+            )
+            self.stats.compute_us_total += work
+        duration = self.kernel.now - start
+        self.stats.record_invoke(duration)
+        return duration
+
+    def describe_plan(self):
+        if self.delegate is not None:
+            return f"all {self.model.op_count} ops on {self.delegate.name}"
+        return (
+            f"all {self.model.op_count} ops on cpu x{self.threads} threads"
+        )

@@ -1,0 +1,54 @@
+"""Model zoo: op-level graphs for the paper's Table I benchmarks.
+
+Each model is described as a topologically ordered list of ops with
+arithmetic (FLOPs), parameter, and activation-size accounting — enough
+fidelity for the roofline cost models in :mod:`repro.soc` and for the
+per-op delegation decisions in :mod:`repro.frameworks`. The layer
+structures follow the published architectures; totals land close to the
+well-known MAC/parameter counts for each network.
+"""
+
+from repro.models.graph import ModelGraph
+from repro.models.ops import (
+    Op,
+    activation,
+    add,
+    attention_scores,
+    avgpool,
+    concat,
+    conv2d,
+    depthwise_conv2d,
+    embedding_lookup,
+    fully_connected,
+    matmul,
+    maxpool,
+    resize_bilinear,
+    softmax,
+)
+from repro.models.quantize import quantize_graph
+from repro.models.tensor import TensorSpec
+from repro.models.zoo import MODEL_CARDS, ModelCard, load_model, model_card
+
+__all__ = [
+    "ModelGraph",
+    "Op",
+    "TensorSpec",
+    "activation",
+    "add",
+    "attention_scores",
+    "avgpool",
+    "concat",
+    "conv2d",
+    "depthwise_conv2d",
+    "embedding_lookup",
+    "fully_connected",
+    "matmul",
+    "maxpool",
+    "resize_bilinear",
+    "softmax",
+    "quantize_graph",
+    "MODEL_CARDS",
+    "ModelCard",
+    "load_model",
+    "model_card",
+]

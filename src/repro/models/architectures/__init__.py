@@ -1,0 +1,33 @@
+"""Architecture builders for the Table-I model zoo.
+
+Each module exposes a ``build()`` function returning a fp32
+:class:`~repro.models.graph.ModelGraph`; quantized variants come from
+:func:`repro.models.quantize.quantize_graph`.
+"""
+
+from repro.models.architectures.alexnet import build_alexnet
+from repro.models.architectures.deeplab import build_deeplab_v3
+from repro.models.architectures.efficientnet import build_efficientnet_lite0
+from repro.models.architectures.inception import build_inception_v3, build_inception_v4
+from repro.models.architectures.mobilebert import build_mobile_bert
+from repro.models.architectures.mobilenet_v1 import build_mobilenet_v1
+from repro.models.architectures.mobilenet_v2 import mobilenet_v2_backbone
+from repro.models.architectures.nasnet import build_nasnet_mobile
+from repro.models.architectures.posenet import build_posenet
+from repro.models.architectures.squeezenet import build_squeezenet
+from repro.models.architectures.ssd import build_ssd_mobilenet_v2
+
+__all__ = [
+    "build_alexnet",
+    "build_deeplab_v3",
+    "build_efficientnet_lite0",
+    "build_inception_v3",
+    "build_inception_v4",
+    "build_mobile_bert",
+    "build_mobilenet_v1",
+    "mobilenet_v2_backbone",
+    "build_nasnet_mobile",
+    "build_posenet",
+    "build_squeezenet",
+    "build_ssd_mobilenet_v2",
+]

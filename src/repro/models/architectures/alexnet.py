@@ -1,0 +1,67 @@
+"""AlexNet (256x256 input per Table I) — Krizhevsky et al., 2012.
+
+Five convolutions plus three huge fully-connected layers; ~0.7 G MACs
+of convolution but ~59 M parameters dominated by the FC layers. The
+paper ships it CPU-only: no NNAPI driver path (Table I marks NNAPI "N").
+"""
+
+from repro.models.graph import ModelGraph
+from repro.models.ops import activation, conv2d, fully_connected, maxpool, softmax
+from repro.models.tensor import TensorSpec
+
+
+def build_alexnet(resolution=256, classes=1001):
+    ops = []
+    hw = (resolution, resolution)
+
+    conv1 = conv2d("conv1", hw, 3, 96, kernel=11, stride=4)
+    ops.append(conv1)
+    ops.append(activation("relu1", conv1.output_shape))
+    hw = conv1.output_shape[:2]
+    pool1 = maxpool("pool1", hw, 96, kernel=3, stride=2)
+    ops.append(pool1)
+    hw = pool1.output_shape[:2]
+
+    conv2 = conv2d("conv2", hw, 96, 256, kernel=5)
+    ops.append(conv2)
+    ops.append(activation("relu2", conv2.output_shape))
+    pool2 = maxpool("pool2", hw, 256, kernel=3, stride=2)
+    ops.append(pool2)
+    hw = pool2.output_shape[:2]
+
+    conv3 = conv2d("conv3", hw, 256, 384, kernel=3)
+    ops.append(conv3)
+    ops.append(activation("relu3", conv3.output_shape))
+    conv4 = conv2d("conv4", hw, 384, 384, kernel=3)
+    ops.append(conv4)
+    ops.append(activation("relu4", conv4.output_shape))
+    conv5 = conv2d("conv5", hw, 384, 256, kernel=3)
+    ops.append(conv5)
+    ops.append(activation("relu5", conv5.output_shape))
+    pool5 = maxpool("pool5", hw, 256, kernel=3, stride=2)
+    ops.append(pool5)
+    hw = pool5.output_shape[:2]
+
+    flat = hw[0] * hw[1] * 256
+    fc6 = fully_connected("fc6", flat, 4096)
+    fc7 = fully_connected("fc7", 4096, 4096)
+    fc8 = fully_connected("fc8", 4096, classes)
+    ops.extend(
+        [
+            fc6,
+            activation("relu6", (4096,)),
+            fc7,
+            activation("relu7", (4096,)),
+            fc8,
+            softmax("probs", classes),
+        ]
+    )
+
+    return ModelGraph(
+        name="alexnet",
+        task="classification",
+        input_spec=TensorSpec((resolution, resolution, 3)),
+        ops=tuple(ops),
+        output_features=classes,
+        metadata={"paper_row": "AlexNet", "resolution": resolution},
+    )

@@ -1,0 +1,57 @@
+"""DeepLab-v3 with MobileNet-v2 backbone (513x513) — Chen et al., 2017.
+
+Dense per-pixel segmentation: the MNv2 backbone runs at output stride 16
+with dilated convolutions, followed by an ASPP head and a bilinear
+upsample back to input resolution. Post-processing is "mask flattening"
+(argmax over class logits per pixel) rather than topK. The paper's
+quantized variant is unsupported (Table I NNAPI-int8 "N").
+"""
+
+from repro.models.graph import ModelGraph
+from repro.models.ops import activation, avgpool, concat, conv2d, resize_bilinear
+from repro.models.tensor import TensorSpec
+
+from repro.models.architectures.mobilenet_v2 import mobilenet_v2_backbone
+
+
+def build_deeplab_v3(resolution=513, classes=21):
+    ops, hw, channels = mobilenet_v2_backbone(
+        resolution=resolution, prefix="backbone", output_stride=16
+    )
+    ops = list(ops)
+
+    # ASPP: 1x1 branch, three dilated 3x3 branches, image pooling branch.
+    aspp_ch = 256
+    for index, label in enumerate(("1x1", "rate6", "rate12", "rate18")):
+        kernel = 1 if index == 0 else 3
+        branch = conv2d(f"aspp_{label}", hw, channels, aspp_ch, kernel)
+        ops.append(branch)
+        ops.append(activation(f"aspp_{label}_relu", branch.output_shape))
+    ops.append(avgpool("aspp_image_pool", hw, channels))
+    pool_proj = conv2d("aspp_pool_proj", (1, 1), channels, aspp_ch, 1)
+    ops.append(pool_proj)
+    ops.append(resize_bilinear("aspp_pool_upsample", (1, 1), hw, aspp_ch))
+    shapes = [(hw[0], hw[1], aspp_ch)] * 5
+    ops.append(concat("aspp_concat", shapes))
+
+    merged = conv2d("aspp_merge", hw, 5 * aspp_ch, aspp_ch, 1)
+    ops.append(merged)
+    ops.append(activation("aspp_merge_relu", merged.output_shape))
+    logits = conv2d("logits", hw, aspp_ch, classes, 1)
+    ops.append(logits)
+    ops.append(
+        resize_bilinear("upsample_logits", hw, (resolution, resolution), classes)
+    )
+
+    return ModelGraph(
+        name="deeplab_v3",
+        task="segmentation",
+        input_spec=TensorSpec((resolution, resolution, 3)),
+        ops=tuple(ops),
+        output_features=resolution * resolution,  # per-pixel argmax mask
+        metadata={
+            "paper_row": "Deeplab-v3 Mobilenet-v2",
+            "resolution": resolution,
+            "classes": classes,
+        },
+    )

@@ -1,0 +1,81 @@
+"""EfficientNet-Lite0 (224x224) — Tan & Le, 2019 (Lite variant, 2020).
+
+The Lite variants drop squeeze-excite and swap swish for ReLU6 so the
+graph is delegate-friendly — ironically the model the paper uses to show
+NNAPI's quantized-op support gaps (Fig. 5). ~390 M MACs, ~4.6 M params.
+"""
+
+from repro.models.graph import ModelGraph
+from repro.models.ops import (
+    activation,
+    add,
+    avgpool,
+    conv2d,
+    depthwise_conv2d,
+    fully_connected,
+    softmax,
+)
+from repro.models.tensor import TensorSpec
+
+#: (expansion, channels, repeats, stride, kernel) per stage — B0 schedule.
+_STAGES = [
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+]
+
+
+def _mbconv(ops, prefix, hw, in_ch, out_ch, expansion, stride, kernel):
+    mid = in_ch * expansion
+    if expansion != 1:
+        expand = conv2d(f"{prefix}_expand", hw, in_ch, mid, kernel=1)
+        ops.append(expand)
+        ops.append(activation(f"{prefix}_expand_relu", expand.output_shape, "RELU6"))
+    dw = depthwise_conv2d(f"{prefix}_dw", hw, mid, kernel=kernel, stride=stride)
+    ops.append(dw)
+    ops.append(activation(f"{prefix}_dw_relu", dw.output_shape, "RELU6"))
+    out_hw = dw.output_shape[:2]
+    project = conv2d(f"{prefix}_project", out_hw, mid, out_ch, kernel=1)
+    ops.append(project)
+    if stride == 1 and in_ch == out_ch:
+        ops.append(add(f"{prefix}_residual", project.output_shape))
+    return out_hw, out_ch
+
+
+def build_efficientnet_lite0(resolution=224, classes=1001):
+    ops = []
+    hw = (resolution, resolution)
+    stem = conv2d("stem", hw, 3, 32, kernel=3, stride=2)
+    ops.append(stem)
+    ops.append(activation("stem_relu", stem.output_shape, "RELU6"))
+    hw = stem.output_shape[:2]
+    channels = 32
+
+    block = 0
+    for expansion, out_ch, repeats, first_stride, kernel in _STAGES:
+        for repeat in range(repeats):
+            stride = first_stride if repeat == 0 else 1
+            hw, channels = _mbconv(
+                ops, f"mb{block}", hw, channels, out_ch, expansion, stride, kernel
+            )
+            block += 1
+
+    head = conv2d("head", hw, channels, 1280, kernel=1)
+    ops.append(head)
+    ops.append(activation("head_relu", head.output_shape, "RELU6"))
+    ops.append(avgpool("global_pool", hw, 1280))
+    ops.append(fully_connected("logits", 1280, classes))
+    ops.append(softmax("probs", classes))
+
+    return ModelGraph(
+        name="efficientnet_lite0",
+        task="classification",
+        input_spec=TensorSpec((resolution, resolution, 3)),
+        ops=tuple(ops),
+        output_features=classes,
+        metadata={"paper_row": "EfficientNet-Lite0", "resolution": resolution},
+    )

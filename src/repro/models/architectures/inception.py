@@ -1,0 +1,177 @@
+"""Inception v3 and v4 (299x299) — Szegedy et al., 2016.
+
+These are the paper's "general purpose" heavyweights: far more
+parameters and ops than the mobile-first networks, and — per §IV-A —
+only partially offloadable by NNAPI, so roughly half their inference
+runs on the CPU. The builders follow the published block schedules
+(stem, Inception-A/B/C towers with factorized 7x1/1x7 convolutions,
+reduction blocks); totals land near the canonical ~5.7 G MACs / 23.8 M
+params (v3) and ~12.3 G MACs / 42.7 M params (v4).
+"""
+
+from repro.models.graph import ModelGraph
+from repro.models.ops import (
+    activation,
+    avgpool,
+    concat,
+    conv2d,
+    fully_connected,
+    maxpool,
+    softmax,
+)
+from repro.models.tensor import TensorSpec
+
+
+def _branch_conv(ops, name, hw, in_ch, out_ch, kernel, stride=1):
+    conv = conv2d(name, hw, in_ch, out_ch, kernel, stride)
+    ops.append(conv)
+    ops.append(activation(f"{name}_relu", conv.output_shape))
+    return conv.output_shape
+
+
+def _inception_a(ops, prefix, hw, in_ch, pool_ch):
+    """35x35 block: 1x1, 5x5, double-3x3 and pooled branches."""
+    _branch_conv(ops, f"{prefix}_b1x1", hw, in_ch, 64, 1)
+    _branch_conv(ops, f"{prefix}_b5_1", hw, in_ch, 48, 1)
+    _branch_conv(ops, f"{prefix}_b5_2", hw, 48, 64, 5)
+    _branch_conv(ops, f"{prefix}_b3_1", hw, in_ch, 64, 1)
+    _branch_conv(ops, f"{prefix}_b3_2", hw, 64, 96, 3)
+    _branch_conv(ops, f"{prefix}_b3_3", hw, 96, 96, 3)
+    ops.append(avgpool(f"{prefix}_pool", hw, in_ch, kernel=3, stride=1))
+    _branch_conv(ops, f"{prefix}_bpool", hw, in_ch, pool_ch, 1)
+    out_ch = 64 + 64 + 96 + pool_ch
+    shapes = [(hw[0], hw[1], c) for c in (64, 64, 96, pool_ch)]
+    ops.append(concat(f"{prefix}_concat", shapes))
+    return out_ch
+
+
+def _reduction_a(ops, prefix, hw, in_ch):
+    """35x35 -> 17x17 downsample."""
+    _branch_conv(ops, f"{prefix}_b3", hw, in_ch, 384, 3, stride=2)
+    _branch_conv(ops, f"{prefix}_bd1", hw, in_ch, 64, 1)
+    _branch_conv(ops, f"{prefix}_bd2", hw, 64, 96, 3)
+    out_shape = _branch_conv(ops, f"{prefix}_bd3", hw, 96, 96, 3, stride=2)
+    pool = maxpool(f"{prefix}_pool", hw, in_ch, kernel=3, stride=2)
+    ops.append(pool)
+    out_hw = out_shape[:2]
+    out_ch = 384 + 96 + in_ch
+    shapes = [(out_hw[0], out_hw[1], c) for c in (384, 96, in_ch)]
+    ops.append(concat(f"{prefix}_concat", shapes))
+    return out_hw, out_ch
+
+
+def _inception_b(ops, prefix, hw, in_ch, mid):
+    """17x17 block with factorized 7x1 / 1x7 convolutions."""
+    _branch_conv(ops, f"{prefix}_b1x1", hw, in_ch, 192, 1)
+    _branch_conv(ops, f"{prefix}_b7_1", hw, in_ch, mid, 1)
+    _branch_conv(ops, f"{prefix}_b7_2", hw, mid, mid, (1, 7))
+    _branch_conv(ops, f"{prefix}_b7_3", hw, mid, 192, (7, 1))
+    _branch_conv(ops, f"{prefix}_bd7_1", hw, in_ch, mid, 1)
+    _branch_conv(ops, f"{prefix}_bd7_2", hw, mid, mid, (7, 1))
+    _branch_conv(ops, f"{prefix}_bd7_3", hw, mid, mid, (1, 7))
+    _branch_conv(ops, f"{prefix}_bd7_4", hw, mid, mid, (7, 1))
+    _branch_conv(ops, f"{prefix}_bd7_5", hw, mid, 192, (1, 7))
+    ops.append(avgpool(f"{prefix}_pool", hw, in_ch, kernel=3, stride=1))
+    _branch_conv(ops, f"{prefix}_bpool", hw, in_ch, 192, 1)
+    shapes = [(hw[0], hw[1], 192)] * 4
+    ops.append(concat(f"{prefix}_concat", shapes))
+    return 768
+
+
+def _reduction_b(ops, prefix, hw, in_ch):
+    """17x17 -> 8x8 downsample."""
+    _branch_conv(ops, f"{prefix}_b3_1", hw, in_ch, 192, 1)
+    shape3 = _branch_conv(ops, f"{prefix}_b3_2", hw, 192, 320, 3, stride=2)
+    _branch_conv(ops, f"{prefix}_b7_1", hw, in_ch, 192, 1)
+    _branch_conv(ops, f"{prefix}_b7_2", hw, 192, 192, (1, 7))
+    _branch_conv(ops, f"{prefix}_b7_3", hw, 192, 192, (7, 1))
+    _branch_conv(ops, f"{prefix}_b7_4", hw, 192, 192, 3, stride=2)
+    ops.append(maxpool(f"{prefix}_pool", hw, in_ch, kernel=3, stride=2))
+    out_hw = shape3[:2]
+    out_ch = 320 + 192 + in_ch
+    shapes = [(out_hw[0], out_hw[1], c) for c in (320, 192, in_ch)]
+    ops.append(concat(f"{prefix}_concat", shapes))
+    return out_hw, out_ch
+
+
+def _inception_c(ops, prefix, hw, in_ch):
+    """8x8 block with expanded 1x3/3x1 fan-outs."""
+    _branch_conv(ops, f"{prefix}_b1x1", hw, in_ch, 320, 1)
+    _branch_conv(ops, f"{prefix}_b3_1", hw, in_ch, 384, 1)
+    _branch_conv(ops, f"{prefix}_b3_2a", hw, 384, 384, (1, 3))
+    _branch_conv(ops, f"{prefix}_b3_2b", hw, 384, 384, (3, 1))
+    _branch_conv(ops, f"{prefix}_bd3_1", hw, in_ch, 448, 1)
+    _branch_conv(ops, f"{prefix}_bd3_2", hw, 448, 384, 3)
+    _branch_conv(ops, f"{prefix}_bd3_3a", hw, 384, 384, (1, 3))
+    _branch_conv(ops, f"{prefix}_bd3_3b", hw, 384, 384, (3, 1))
+    ops.append(avgpool(f"{prefix}_pool", hw, in_ch, kernel=3, stride=1))
+    _branch_conv(ops, f"{prefix}_bpool", hw, in_ch, 192, 1)
+    out_ch = 320 + 768 + 768 + 192
+    shapes = [(hw[0], hw[1], c) for c in (320, 768, 768, 192)]
+    ops.append(concat(f"{prefix}_concat", shapes))
+    return out_ch
+
+
+def _stem(ops, resolution):
+    hw = (resolution, resolution)
+    shape = _branch_conv(ops, "stem_conv1", hw, 3, 32, 3, stride=2)
+    hw = shape[:2]
+    _branch_conv(ops, "stem_conv2", hw, 32, 32, 3)
+    _branch_conv(ops, "stem_conv3", hw, 32, 64, 3)
+    pool = maxpool("stem_pool1", hw, 64, kernel=3, stride=2)
+    ops.append(pool)
+    hw = pool.output_shape[:2]
+    _branch_conv(ops, "stem_conv4", hw, 64, 80, 1)
+    _branch_conv(ops, "stem_conv5", hw, 80, 192, 3)
+    pool = maxpool("stem_pool2", hw, 192, kernel=3, stride=2)
+    ops.append(pool)
+    return pool.output_shape[:2], 192
+
+
+def build_inception_v3(resolution=299, classes=1001):
+    ops = []
+    hw, channels = _stem(ops, resolution)
+    for index, pool_ch in enumerate((32, 64, 64)):
+        channels = _inception_a(ops, f"mixed_a{index}", hw, channels, pool_ch)
+    hw, channels = _reduction_a(ops, "reduction_a", hw, channels)
+    for index, mid in enumerate((128, 160, 160, 192)):
+        channels = _inception_b(ops, f"mixed_b{index}", hw, channels, mid)
+    hw, channels = _reduction_b(ops, "reduction_b", hw, channels)
+    for index in range(2):
+        channels = _inception_c(ops, f"mixed_c{index}", hw, channels)
+    ops.append(avgpool("global_pool", hw, channels))
+    ops.append(fully_connected("logits", channels, classes))
+    ops.append(softmax("probs", classes))
+    return ModelGraph(
+        name="inception_v3",
+        task="face_recognition",
+        input_spec=TensorSpec((resolution, resolution, 3)),
+        ops=tuple(ops),
+        output_features=classes,
+        metadata={"paper_row": "Inception v3", "resolution": resolution},
+    )
+
+
+def build_inception_v4(resolution=299, classes=1001):
+    """Inception v4: deeper towers (4xA, 7xB, 3xC) over the same stem."""
+    ops = []
+    hw, channels = _stem(ops, resolution)
+    for index in range(4):
+        channels = _inception_a(ops, f"mixed_a{index}", hw, channels, 64)
+    hw, channels = _reduction_a(ops, "reduction_a", hw, channels)
+    for index in range(7):
+        channels = _inception_b(ops, f"mixed_b{index}", hw, channels, 192)
+    hw, channels = _reduction_b(ops, "reduction_b", hw, channels)
+    for index in range(3):
+        channels = _inception_c(ops, f"mixed_c{index}", hw, channels)
+    ops.append(avgpool("global_pool", hw, channels))
+    ops.append(fully_connected("logits", channels, classes))
+    ops.append(softmax("probs", classes))
+    return ModelGraph(
+        name="inception_v4",
+        task="face_recognition",
+        input_spec=TensorSpec((resolution, resolution, 3)),
+        ops=tuple(ops),
+        output_features=classes,
+        metadata={"paper_row": "Inception v4", "resolution": resolution},
+    )

@@ -1,0 +1,77 @@
+"""MobileBERT (sequence length 384) — Sun et al., 2020.
+
+The only non-vision model in Table I: language processing with
+tokenization as pre-processing and logits computation as
+post-processing. 24 bottlenecked transformer blocks (intra-block hidden
+128, body hidden 512, stacked FFNs); ~25 M params.
+"""
+
+from repro.models.graph import ModelGraph
+from repro.models.ops import (
+    activation,
+    add,
+    attention_scores,
+    embedding_lookup,
+    matmul,
+    softmax,
+)
+from repro.models.tensor import TensorSpec
+
+HIDDEN = 512
+BOTTLENECK = 128
+HEADS = 4
+LAYERS = 24
+FFN_STACK = 4
+FFN_HIDDEN = 512
+
+
+def _layer(ops, index, seq_len):
+    prefix = f"layer{index}"
+    # Bottleneck down-projection.
+    ops.append(matmul(f"{prefix}_bottleneck_in", seq_len, HIDDEN, BOTTLENECK))
+    # Self attention in the bottleneck width.
+    head_dim = BOTTLENECK // HEADS
+    for proj in ("q", "k", "v"):
+        ops.append(matmul(f"{prefix}_{proj}", seq_len, BOTTLENECK, BOTTLENECK))
+    ops.append(
+        attention_scores(f"{prefix}_attention", seq_len, head_dim, HEADS)
+    )  # activation-activation product: no weights
+    ops.append(softmax(f"{prefix}_attn_softmax", seq_len, batch=HEADS * seq_len))
+    ops.append(matmul(f"{prefix}_attn_out", seq_len, BOTTLENECK, BOTTLENECK))
+    ops.append(add(f"{prefix}_attn_residual", (seq_len, BOTTLENECK)))
+    # Stacked feed-forward networks.
+    for ffn in range(FFN_STACK):
+        ops.append(
+            matmul(f"{prefix}_ffn{ffn}_up", seq_len, BOTTLENECK, FFN_HIDDEN)
+        )
+        ops.append(activation(f"{prefix}_ffn{ffn}_gelu", (seq_len, FFN_HIDDEN), "GELU"))
+        ops.append(
+            matmul(f"{prefix}_ffn{ffn}_down", seq_len, FFN_HIDDEN, BOTTLENECK)
+        )
+        ops.append(add(f"{prefix}_ffn{ffn}_residual", (seq_len, BOTTLENECK)))
+    # Bottleneck up-projection back to body width.
+    ops.append(matmul(f"{prefix}_bottleneck_out", seq_len, BOTTLENECK, HIDDEN))
+    ops.append(add(f"{prefix}_out_residual", (seq_len, HIDDEN)))
+
+
+def build_mobile_bert(seq_len=384, vocab_size=30522):
+    ops = [embedding_lookup("embeddings", seq_len, BOTTLENECK, vocab_size=vocab_size)]
+    ops.append(matmul("embedding_proj", seq_len, BOTTLENECK, HIDDEN))
+    for index in range(LAYERS):
+        _layer(ops, index, seq_len)
+    # Span-prediction head (SQuAD-style start/end logits).
+    ops.append(matmul("qa_head", seq_len, HIDDEN, 2))
+    ops.append(softmax("qa_softmax", seq_len, batch=2))
+
+    return ModelGraph(
+        name="mobile_bert",
+        task="language_processing",
+        input_spec=TensorSpec((seq_len,), dtype="int32"),
+        ops=tuple(ops),
+        output_features=seq_len,
+        metadata={
+            "paper_row": "Mobile BERT",
+            "seq_len": seq_len,
+            "vocab_size": vocab_size,
+        },
+    )

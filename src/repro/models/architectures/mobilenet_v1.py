@@ -1,0 +1,66 @@
+"""MobileNet v1 1.0 (224x224) — Howard et al., 2017.
+
+13 depthwise-separable blocks after a strided stem; ~569 M MACs and
+~4.2 M parameters at width multiplier 1.0.
+"""
+
+from repro.models.graph import ModelGraph
+from repro.models.ops import (
+    activation,
+    avgpool,
+    conv2d,
+    depthwise_conv2d,
+    fully_connected,
+    softmax,
+)
+from repro.models.tensor import TensorSpec
+
+#: (stride, output channels) of the 13 separable blocks.
+_BLOCKS = [
+    (1, 64),
+    (2, 128),
+    (1, 128),
+    (2, 256),
+    (1, 256),
+    (2, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (2, 1024),
+    (1, 1024),
+]
+
+
+def build_mobilenet_v1(resolution=224, classes=1001):
+    ops = []
+    hw = (resolution, resolution)
+    channels = 32
+    stem = conv2d("stem_conv", hw, 3, channels, kernel=3, stride=2)
+    ops.append(stem)
+    ops.append(activation("stem_relu", stem.output_shape, "RELU6"))
+    hw = stem.output_shape[:2]
+
+    for index, (stride, out_ch) in enumerate(_BLOCKS, start=1):
+        dw = depthwise_conv2d(f"block{index}_dw", hw, channels, kernel=3, stride=stride)
+        ops.append(dw)
+        ops.append(activation(f"block{index}_dw_relu", dw.output_shape, "RELU6"))
+        hw = dw.output_shape[:2]
+        pw = conv2d(f"block{index}_pw", hw, channels, out_ch, kernel=1)
+        ops.append(pw)
+        ops.append(activation(f"block{index}_pw_relu", pw.output_shape, "RELU6"))
+        channels = out_ch
+
+    ops.append(avgpool("global_pool", hw, channels))
+    ops.append(fully_connected("logits", channels, classes))
+    ops.append(softmax("probs", classes))
+
+    return ModelGraph(
+        name="mobilenet_v1",
+        task="classification",
+        input_spec=TensorSpec((resolution, resolution, 3)),
+        ops=tuple(ops),
+        output_features=classes,
+        metadata={"paper_row": "MobileNet 1.0 v1", "resolution": resolution},
+    )

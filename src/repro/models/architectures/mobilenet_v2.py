@@ -1,0 +1,69 @@
+"""MobileNet v2 backbone — Sandler et al., 2018.
+
+Inverted residual bottlenecks; exposed as a reusable backbone for the
+SSD detector and DeepLab segmentation models in Table I (~300 M MACs,
+~3.4 M params at 224x224).
+"""
+
+from repro.models.ops import activation, add, conv2d, depthwise_conv2d
+
+#: (expansion t, output channels c, repeats n, first stride s) per stage.
+_STAGES = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _bottleneck(ops, prefix, hw, in_ch, out_ch, expansion, stride, dilation=1):
+    """One inverted residual block; returns (hw, out_ch)."""
+    mid = in_ch * expansion
+    if expansion != 1:
+        expand = conv2d(f"{prefix}_expand", hw, in_ch, mid, kernel=1)
+        ops.append(expand)
+        ops.append(activation(f"{prefix}_expand_relu", expand.output_shape, "RELU6"))
+    effective_stride = 1 if dilation > 1 else stride
+    dw = depthwise_conv2d(f"{prefix}_dw", hw, mid, kernel=3, stride=effective_stride)
+    ops.append(dw)
+    ops.append(activation(f"{prefix}_dw_relu", dw.output_shape, "RELU6"))
+    out_hw = dw.output_shape[:2]
+    project = conv2d(f"{prefix}_project", out_hw, mid, out_ch, kernel=1)
+    ops.append(project)
+    if stride == 1 and in_ch == out_ch and dilation == 1:
+        ops.append(add(f"{prefix}_residual", project.output_shape))
+    return out_hw, out_ch
+
+
+def mobilenet_v2_backbone(resolution=224, prefix="mnv2", output_stride=32):
+    """Build backbone op list; returns (ops, final_hw, final_channels).
+
+    ``output_stride=16`` keeps the last downsampling stage at stride 1
+    with dilated convolutions — the DeepLab configuration.
+    """
+    ops = []
+    hw = (resolution, resolution)
+    stem = conv2d(f"{prefix}_stem", hw, 3, 32, kernel=3, stride=2)
+    ops.append(stem)
+    ops.append(activation(f"{prefix}_stem_relu", stem.output_shape, "RELU6"))
+    hw = stem.output_shape[:2]
+    channels = 32
+    accumulated_stride = 2
+    block = 0
+    for expansion, out_ch, repeats, first_stride in _STAGES:
+        for repeat in range(repeats):
+            stride = first_stride if repeat == 0 else 1
+            dilation = 1
+            if accumulated_stride >= output_stride and stride == 2:
+                dilation = 2  # swap downsampling for dilation (DeepLab trick)
+            elif stride == 2:
+                accumulated_stride *= 2
+            hw, channels = _bottleneck(
+                ops, f"{prefix}_b{block}", hw, channels, out_ch, expansion,
+                stride, dilation=dilation,
+            )
+            block += 1
+    return ops, hw, channels

@@ -1,0 +1,100 @@
+"""NASNet-A Mobile (331x331 per Table I) — Zoph et al., 2018.
+
+Architecture-search cells built almost entirely from small separable
+convolutions: modest MAC count (~0.6 G at 224; more at 331) but a very
+large *op count*, which is what makes it interesting for per-op
+delegation overheads. Table I marks the quantized variant unsupported.
+"""
+
+from repro.models.graph import ModelGraph
+from repro.models.ops import (
+    activation,
+    add,
+    avgpool,
+    concat,
+    conv2d,
+    depthwise_conv2d,
+    fully_connected,
+    softmax,
+)
+from repro.models.tensor import TensorSpec
+
+
+def _separable(ops, prefix, hw, in_ch, out_ch, kernel, stride=1):
+    """Separable conv applied twice, as in the NASNet cell definition."""
+    current_hw, channels = hw, in_ch
+    for step in range(2):
+        effective_stride = stride if step == 0 else 1
+        dw = depthwise_conv2d(
+            f"{prefix}_dw{step}", current_hw, channels, kernel, effective_stride
+        )
+        ops.append(dw)
+        current_hw = dw.output_shape[:2]
+        pw = conv2d(f"{prefix}_pw{step}", current_hw, channels, out_ch, 1)
+        ops.append(pw)
+        ops.append(activation(f"{prefix}_relu{step}", pw.output_shape))
+        channels = out_ch
+    return current_hw, out_ch
+
+
+def _normal_cell(ops, prefix, hw, in_ch, filters):
+    """Five combine nodes of separable convs / pools / identity adds."""
+    _separable(ops, f"{prefix}_s3a", hw, in_ch, filters, 3)
+    _separable(ops, f"{prefix}_s3b", hw, in_ch, filters, 3)
+    _separable(ops, f"{prefix}_s5a", hw, in_ch, filters, 5)
+    _separable(ops, f"{prefix}_s5b", hw, in_ch, filters, 5)
+    ops.append(avgpool(f"{prefix}_pool1", hw, filters, kernel=3, stride=1))
+    ops.append(avgpool(f"{prefix}_pool2", hw, filters, kernel=3, stride=1))
+    for node in range(5):
+        ops.append(add(f"{prefix}_combine{node}", (hw[0], hw[1], filters)))
+    shapes = [(hw[0], hw[1], filters)] * 5
+    ops.append(concat(f"{prefix}_concat", shapes))
+    return 5 * filters
+
+
+def _reduction_cell(ops, prefix, hw, in_ch, filters):
+    new_hw, _ = _separable(ops, f"{prefix}_s5", hw, in_ch, filters, 5, stride=2)
+    _separable(ops, f"{prefix}_s7", hw, in_ch, filters, 7, stride=2)
+    _separable(ops, f"{prefix}_s3", hw, in_ch, filters, 3, stride=2)
+    for node in range(3):
+        ops.append(add(f"{prefix}_combine{node}", (new_hw[0], new_hw[1], filters)))
+    shapes = [(new_hw[0], new_hw[1], filters)] * 3
+    ops.append(concat(f"{prefix}_concat", shapes))
+    return new_hw, 3 * filters
+
+
+def build_nasnet_mobile(resolution=331, classes=1001):
+    ops = []
+    hw = (resolution, resolution)
+    stem = conv2d("stem", hw, 3, 32, kernel=3, stride=2)
+    ops.append(stem)
+    ops.append(activation("stem_relu", stem.output_shape))
+    hw = stem.output_shape[:2]
+    channels = 32
+
+    filters = 44  # N=4, penultimate filters 1056 => 44 base
+    # Two stem reduction cells bring 331 -> ~21px like the reference net.
+    hw, channels = _reduction_cell(ops, "stem_r0", hw, channels, filters // 2)
+    hw, channels = _reduction_cell(ops, "stem_r1", hw, channels, filters)
+
+    for block in range(3):
+        for cell in range(4):
+            channels = _normal_cell(
+                ops, f"normal{block}_{cell}", hw, channels, filters
+            )
+        if block < 2:
+            filters *= 2
+            hw, channels = _reduction_cell(ops, f"reduce{block}", hw, channels, filters)
+
+    ops.append(avgpool("global_pool", hw, channels))
+    ops.append(fully_connected("logits", channels, classes))
+    ops.append(softmax("probs", classes))
+
+    return ModelGraph(
+        name="nasnet_mobile",
+        task="classification",
+        input_spec=TensorSpec((resolution, resolution, 3)),
+        ops=tuple(ops),
+        output_features=classes,
+        metadata={"paper_row": "NasNet Mobile", "resolution": resolution},
+    )

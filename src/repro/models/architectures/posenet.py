@@ -1,0 +1,62 @@
+"""PoseNet (224x224, MobileNet-v1 backbone) — single-person pose.
+
+A MobileNet-v1 feature extractor with four convolutional heads emitting
+heatmaps and offset/displacement tensors for 17 keypoints. The pipeline
+around it is the interesting part for the paper: input rotation during
+pre-processing and keypoint decoding during post-processing.
+"""
+
+from repro.models.graph import ModelGraph
+from repro.models.ops import activation, conv2d, depthwise_conv2d
+from repro.models.tensor import TensorSpec
+
+from repro.models.architectures.mobilenet_v1 import _BLOCKS
+
+KEYPOINTS = 17
+
+
+def build_posenet(resolution=224, keypoints=KEYPOINTS):
+    ops = []
+    hw = (resolution, resolution)
+    channels = 32
+    stem = conv2d("stem_conv", hw, 3, channels, kernel=3, stride=2)
+    ops.append(stem)
+    ops.append(activation("stem_relu", stem.output_shape, "RELU6"))
+    hw = stem.output_shape[:2]
+
+    # MobileNet v1 backbone at output stride 16 (last stride-2 removed).
+    for index, (stride, out_ch) in enumerate(_BLOCKS, start=1):
+        if index == 12:
+            stride = 1
+        dw = depthwise_conv2d(f"block{index}_dw", hw, channels, 3, stride)
+        ops.append(dw)
+        ops.append(activation(f"block{index}_dw_relu", dw.output_shape, "RELU6"))
+        hw = dw.output_shape[:2]
+        pw = conv2d(f"block{index}_pw", hw, channels, out_ch, kernel=1)
+        ops.append(pw)
+        ops.append(activation(f"block{index}_pw_relu", pw.output_shape, "RELU6"))
+        channels = out_ch
+
+    heads = {
+        "heatmaps": keypoints,
+        "offsets": 2 * keypoints,
+        "displacement_fwd": 2 * (keypoints - 1),
+        "displacement_bwd": 2 * (keypoints - 1),
+    }
+    for head_name, head_channels in heads.items():
+        ops.append(conv2d(f"head_{head_name}", hw, channels, head_channels, 1))
+    ops.append(activation("heatmap_sigmoid", (hw[0], hw[1], keypoints), "LOGISTIC"))
+
+    return ModelGraph(
+        name="posenet",
+        task="pose_estimation",
+        input_spec=TensorSpec((resolution, resolution, 3)),
+        ops=tuple(ops),
+        output_features=keypoints,
+        metadata={
+            "paper_row": "PoseNet",
+            "resolution": resolution,
+            "heatmap_size": hw,
+            "keypoints": keypoints,
+        },
+    )

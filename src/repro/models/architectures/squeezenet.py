@@ -1,0 +1,70 @@
+"""SqueezeNet v1.0 (227x227) — Iandola et al., 2016.
+
+Eight "fire" modules (1x1 squeeze feeding parallel 1x1 + 3x3 expands);
+~840 M MACs and ~1.25 M parameters.
+"""
+
+from repro.models.graph import ModelGraph
+from repro.models.ops import activation, avgpool, concat, conv2d, maxpool, softmax
+from repro.models.tensor import TensorSpec
+
+#: (squeeze, expand1x1, expand3x3) per fire module, v1.0 schedule.
+_FIRE = [
+    (16, 64, 64),
+    (16, 64, 64),
+    (32, 128, 128),
+    (32, 128, 128),
+    (48, 192, 192),
+    (48, 192, 192),
+    (64, 256, 256),
+    (64, 256, 256),
+]
+#: Fire indices followed by a 3x3/2 maxpool (1-based like the paper).
+_POOL_AFTER = {3, 7}
+
+
+def _fire(ops, index, hw, in_ch, squeeze, expand1, expand3):
+    squeeze_op = conv2d(f"fire{index}_squeeze", hw, in_ch, squeeze, kernel=1)
+    ops.append(squeeze_op)
+    ops.append(activation(f"fire{index}_squeeze_relu", squeeze_op.output_shape))
+    e1 = conv2d(f"fire{index}_expand1x1", hw, squeeze, expand1, kernel=1)
+    e3 = conv2d(f"fire{index}_expand3x3", hw, squeeze, expand3, kernel=3)
+    ops.extend([e1, e3])
+    ops.append(concat(f"fire{index}_concat", [e1.output_shape, e3.output_shape]))
+    ops.append(activation(f"fire{index}_relu", (hw[0], hw[1], expand1 + expand3)))
+    return expand1 + expand3
+
+
+def build_squeezenet(resolution=227, classes=1001):
+    ops = []
+    hw = (resolution, resolution)
+    stem = conv2d("conv1", hw, 3, 96, kernel=7, stride=2)
+    ops.append(stem)
+    ops.append(activation("conv1_relu", stem.output_shape))
+    hw = stem.output_shape[:2]
+    pool = maxpool("pool1", hw, 96, kernel=3, stride=2)
+    ops.append(pool)
+    hw = pool.output_shape[:2]
+
+    channels = 96
+    for number, (squeeze, expand1, expand3) in enumerate(_FIRE, start=2):
+        channels = _fire(ops, number, hw, channels, squeeze, expand1, expand3)
+        if number in _POOL_AFTER:
+            pool = maxpool(f"pool{number}", hw, channels, kernel=3, stride=2)
+            ops.append(pool)
+            hw = pool.output_shape[:2]
+
+    head = conv2d("conv10", hw, channels, classes, kernel=1)
+    ops.append(head)
+    ops.append(activation("conv10_relu", head.output_shape))
+    ops.append(avgpool("global_pool", hw, classes))
+    ops.append(softmax("probs", classes))
+
+    return ModelGraph(
+        name="squeezenet",
+        task="classification",
+        input_spec=TensorSpec((resolution, resolution, 3)),
+        ops=tuple(ops),
+        output_features=classes,
+        metadata={"paper_row": "SqueezeNet", "resolution": resolution},
+    )

@@ -1,0 +1,62 @@
+"""SSD MobileNet-v2 (300x300) — Liu et al., 2016 / Sandler et al., 2018.
+
+Single-shot detection: MNv2 backbone plus a pyramid of extra feature
+maps, with per-location box-regression and class heads. Post-processing
+(anchor decode + NMS) runs on the CPU outside the graph, as in the
+TFLite detection apps the paper profiles.
+"""
+
+from repro.models.graph import ModelGraph
+from repro.models.ops import activation, concat, conv2d, depthwise_conv2d
+from repro.models.tensor import TensorSpec
+
+from repro.models.architectures.mobilenet_v2 import mobilenet_v2_backbone
+
+#: (feature map size, anchors per cell) of the six SSD heads at 300x300.
+_HEADS = [(19, 3), (10, 6), (5, 6), (3, 6), (2, 6), (1, 6)]
+
+
+def build_ssd_mobilenet_v2(resolution=300, classes=91):
+    ops, hw, channels = mobilenet_v2_backbone(resolution=resolution, prefix="backbone")
+    ops = list(ops)
+
+    # Extra feature pyramid convs shrinking 10 -> 1.
+    feature_channels = [channels, 512, 256, 256, 128, 128]
+    current_hw, current_ch = hw, channels
+    for index in range(1, len(_HEADS)):
+        target = feature_channels[index]
+        squeeze = conv2d(f"extra{index}_squeeze", current_hw, current_ch, target // 2, 1)
+        ops.append(squeeze)
+        ops.append(activation(f"extra{index}_squeeze_relu", squeeze.output_shape))
+        expand = conv2d(
+            f"extra{index}_expand", current_hw, target // 2, target, 3, stride=2
+        )
+        ops.append(expand)
+        ops.append(activation(f"extra{index}_expand_relu", expand.output_shape))
+        current_hw, current_ch = expand.output_shape[:2], target
+
+    # SSDLite-style box and class heads (depthwise 3x3 + pointwise 1x1)
+    # over each pyramid level.
+    total_anchors = 0
+    for index, ((size, anchors), ch) in enumerate(zip(_HEADS, feature_channels)):
+        head_hw = (size, size)
+        ops.append(depthwise_conv2d(f"head{index}_dw", head_hw, ch, 3))
+        ops.append(conv2d(f"head{index}_box", head_hw, ch, anchors * 4, 1))
+        ops.append(conv2d(f"head{index}_class", head_hw, ch, anchors * classes, 1))
+        total_anchors += size * size * anchors
+    shapes = [(1, 1, total_anchors * 4), (1, 1, total_anchors * classes)]
+    ops.append(concat("head_concat", shapes))
+
+    return ModelGraph(
+        name="ssd_mobilenet_v2",
+        task="object_detection",
+        input_spec=TensorSpec((resolution, resolution, 3)),
+        ops=tuple(ops),
+        output_features=total_anchors,
+        metadata={
+            "paper_row": "SSD MobileNet v2",
+            "resolution": resolution,
+            "classes": classes,
+            "anchors": total_anchors,
+        },
+    )

@@ -1,0 +1,255 @@
+"""Op descriptors and factory helpers.
+
+An :class:`Op` records everything the cost and delegation models need:
+
+* ``kind`` — the TFLite-level operator name used by framework op-support
+  matrices (``CONV_2D``, ``DEPTHWISE_CONV_2D``, ...).
+* ``compute_class`` — which roofline bucket prices it (``conv``,
+  ``depthwise``, ``fc``, ``elementwise``).
+* ``flops`` — 2x multiply-accumulates for MAC-type ops, element counts
+  for memory-bound ops.
+* ``params`` / activation sizes for weight- and transfer-cost accounting.
+
+Factory helpers compute FLOPs from layer hyperparameters so architecture
+builders read like network definitions.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Op:
+    name: str
+    kind: str
+    compute_class: str
+    flops: float
+    params: int
+    output_shape: tuple
+    input_elems: int
+    output_elems: int
+    attrs: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self):
+        if self.compute_class not in ("conv", "depthwise", "fc", "elementwise"):
+            raise ValueError(f"bad compute_class {self.compute_class!r}")
+        if self.flops < 0:
+            raise ValueError("negative flops")
+
+
+def _out_dim(size, stride):
+    return math.ceil(size / stride)
+
+
+def conv2d(name, in_hw, in_ch, out_ch, kernel, stride=1):
+    """Standard 2-D convolution (SAME padding).
+
+    ``kernel`` may be an int (square) or an ``(kh, kw)`` tuple for the
+    factorized 1x7 / 7x1 convolutions of the Inception family.
+    """
+    in_h, in_w = in_hw
+    kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+    out_h, out_w = _out_dim(in_h, stride), _out_dim(in_w, stride)
+    macs = out_h * out_w * out_ch * in_ch * kh * kw
+    return Op(
+        name=name,
+        kind="CONV_2D",
+        compute_class="conv",
+        flops=2.0 * macs,
+        params=kh * kw * in_ch * out_ch + out_ch,
+        output_shape=(out_h, out_w, out_ch),
+        input_elems=in_h * in_w * in_ch,
+        output_elems=out_h * out_w * out_ch,
+        attrs={"kernel": (kh, kw), "stride": stride},
+    )
+
+
+def depthwise_conv2d(name, in_hw, channels, kernel, stride=1):
+    """Depthwise 2-D convolution (one filter per channel)."""
+    in_h, in_w = in_hw
+    out_h, out_w = _out_dim(in_h, stride), _out_dim(in_w, stride)
+    macs = out_h * out_w * channels * kernel * kernel
+    return Op(
+        name=name,
+        kind="DEPTHWISE_CONV_2D",
+        compute_class="depthwise",
+        flops=2.0 * macs,
+        params=kernel * kernel * channels + channels,
+        output_shape=(out_h, out_w, channels),
+        input_elems=in_h * in_w * channels,
+        output_elems=out_h * out_w * channels,
+        attrs={"kernel": kernel, "stride": stride},
+    )
+
+
+def fully_connected(name, in_features, out_features):
+    return Op(
+        name=name,
+        kind="FULLY_CONNECTED",
+        compute_class="fc",
+        flops=2.0 * in_features * out_features,
+        params=in_features * out_features + out_features,
+        output_shape=(out_features,),
+        input_elems=in_features,
+        output_elems=out_features,
+    )
+
+
+def matmul(name, m, k, n, batch=1, weights=True):
+    """Batched matrix multiply (transformer projections/attention).
+
+    ``weights=True`` (the default) treats the right operand as a learned
+    ``k x n`` weight matrix; pass False for activation-activation products.
+    """
+    return Op(
+        name=name,
+        kind="BATCH_MATMUL",
+        compute_class="fc",
+        flops=2.0 * batch * m * k * n,
+        params=(k * n + n) if weights else 0,
+        output_shape=(batch, m, n),
+        input_elems=batch * (m * k + k * n),
+        output_elems=batch * m * n,
+    )
+
+
+def attention_scores(name, seq_len, head_dim, heads):
+    """QK^T plus attention-weighted V for all heads."""
+    macs = 2 * heads * seq_len * seq_len * head_dim  # scores + context
+    return Op(
+        name=name,
+        kind="ATTENTION",
+        compute_class="fc",
+        flops=2.0 * macs,
+        params=0,
+        output_shape=(seq_len, heads * head_dim),
+        input_elems=3 * seq_len * heads * head_dim,
+        output_elems=seq_len * heads * head_dim,
+        attrs={"heads": heads},
+    )
+
+
+def maxpool(name, in_hw, channels, kernel, stride):
+    in_h, in_w = in_hw
+    out_h, out_w = _out_dim(in_h, stride), _out_dim(in_w, stride)
+    return Op(
+        name=name,
+        kind="MAX_POOL_2D",
+        compute_class="elementwise",
+        flops=float(out_h * out_w * channels * kernel * kernel),
+        params=0,
+        output_shape=(out_h, out_w, channels),
+        input_elems=in_h * in_w * channels,
+        output_elems=out_h * out_w * channels,
+        attrs={"kernel": kernel, "stride": stride},
+    )
+
+
+def avgpool(name, in_hw, channels, kernel=None, stride=None):
+    """Average pool; defaults to global pooling."""
+    in_h, in_w = in_hw
+    if kernel is None:  # global
+        out_h = out_w = 1
+        work = in_h * in_w * channels
+    else:
+        out_h, out_w = _out_dim(in_h, stride), _out_dim(in_w, stride)
+        work = out_h * out_w * channels * kernel * kernel
+    return Op(
+        name=name,
+        kind="AVERAGE_POOL_2D",
+        compute_class="elementwise",
+        flops=float(work),
+        params=0,
+        output_shape=(out_h, out_w, channels),
+        input_elems=in_h * in_w * channels,
+        output_elems=out_h * out_w * channels,
+    )
+
+
+def activation(name, shape, kind="RELU"):
+    elems = math.prod(shape)
+    return Op(
+        name=name,
+        kind=kind,
+        compute_class="elementwise",
+        flops=float(elems),
+        params=0,
+        output_shape=tuple(shape),
+        input_elems=elems,
+        output_elems=elems,
+    )
+
+
+def add(name, shape):
+    elems = math.prod(shape)
+    return Op(
+        name=name,
+        kind="ADD",
+        compute_class="elementwise",
+        flops=float(elems),
+        params=0,
+        output_shape=tuple(shape),
+        input_elems=2 * elems,
+        output_elems=elems,
+    )
+
+
+def concat(name, shapes, axis=-1):
+    """Concatenate along the channel axis."""
+    total = sum(math.prod(shape) for shape in shapes)
+    base = list(shapes[0])
+    base[axis] = sum(shape[axis] for shape in shapes)
+    return Op(
+        name=name,
+        kind="CONCATENATION",
+        compute_class="elementwise",
+        flops=float(total),
+        params=0,
+        output_shape=tuple(base),
+        input_elems=total,
+        output_elems=total,
+    )
+
+
+def softmax(name, features, batch=1):
+    elems = batch * features
+    return Op(
+        name=name,
+        kind="SOFTMAX",
+        compute_class="elementwise",
+        flops=5.0 * elems,  # exp, subtract-max, sum, divide
+        params=0,
+        output_shape=(batch, features),
+        input_elems=elems,
+        output_elems=elems,
+    )
+
+
+def resize_bilinear(name, in_hw, out_hw, channels):
+    out_h, out_w = out_hw
+    elems = out_h * out_w * channels
+    return Op(
+        name=name,
+        kind="RESIZE_BILINEAR",
+        compute_class="elementwise",
+        flops=8.0 * elems,  # 4 taps, 2 lerps per output element
+        params=0,
+        output_shape=(out_h, out_w, channels),
+        input_elems=in_hw[0] * in_hw[1] * channels,
+        output_elems=elems,
+    )
+
+
+def embedding_lookup(name, seq_len, hidden, vocab_size=0):
+    """Token embedding gather; ``vocab_size`` adds the table parameters."""
+    elems = seq_len * hidden
+    return Op(
+        name=name,
+        kind="EMBEDDING_LOOKUP",
+        compute_class="elementwise",
+        flops=float(elems),
+        params=vocab_size * hidden,
+        output_shape=(seq_len, hidden),
+        input_elems=seq_len,
+        output_elems=elems,
+    )

@@ -1,0 +1,43 @@
+"""Tensor shape/dtype descriptors."""
+
+from dataclasses import dataclass
+from math import prod
+
+_DTYPE_BYTES = {"fp32": 4, "fp16": 2, "int8": 1, "int32": 4, "uint8": 1}
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape and element type of a tensor (no data)."""
+
+    shape: tuple
+    dtype: str = "fp32"
+
+    def __post_init__(self):
+        if self.dtype not in _DTYPE_BYTES:
+            raise ValueError(f"unknown dtype {self.dtype!r}")
+        if any(dim <= 0 for dim in self.shape):
+            raise ValueError(f"non-positive dimension in shape {self.shape}")
+
+    @property
+    def numel(self):
+        return prod(self.shape)
+
+    @property
+    def itemsize(self):
+        return _DTYPE_BYTES[self.dtype]
+
+    @property
+    def nbytes(self):
+        return self.numel * self.itemsize
+
+    def with_dtype(self, dtype):
+        return TensorSpec(self.shape, dtype)
+
+    def __str__(self):
+        return f"{self.dtype}[{'x'.join(str(d) for d in self.shape)}]"
+
+
+def dtype_bytes(dtype):
+    """Bytes per element for a dtype name."""
+    return _DTYPE_BYTES[dtype]

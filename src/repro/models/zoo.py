@@ -1,0 +1,152 @@
+"""Model registry mirroring the paper's Table I.
+
+Each :class:`ModelCard` records the task, input resolution, the pre- and
+post-processing tasks observed in the paper's applications, and which
+(framework, dtype) combinations are supported — AlexNet has no NNAPI
+path at all; NasNet, SqueezeNet, DeepLab, PoseNet and MobileBERT have no
+quantized variant.
+"""
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.models.architectures import (
+    build_alexnet,
+    build_deeplab_v3,
+    build_efficientnet_lite0,
+    build_inception_v3,
+    build_inception_v4,
+    build_mobile_bert,
+    build_mobilenet_v1,
+    build_nasnet_mobile,
+    build_posenet,
+    build_squeezenet,
+    build_ssd_mobilenet_v2,
+)
+from repro.models.quantize import quantize_graph
+
+
+@dataclass(frozen=True)
+class ModelCard:
+    """One row of Table I."""
+
+    key: str
+    task: str
+    display_name: str
+    resolution: str
+    pre_tasks: tuple
+    post_tasks: tuple
+    nnapi_fp32: bool
+    nnapi_int8: bool
+    cpu_fp32: bool
+    cpu_int8: bool
+    builder: object
+
+    def supports(self, framework, dtype):
+        """Check a (framework, dtype) pair against the Table-I matrix."""
+        column = {
+            ("nnapi", "fp32"): self.nnapi_fp32,
+            ("nnapi", "int8"): self.nnapi_int8,
+            ("cpu", "fp32"): self.cpu_fp32,
+            ("cpu", "int8"): self.cpu_int8,
+        }
+        try:
+            return column[(framework, dtype)]
+        except KeyError:
+            raise ValueError(
+                f"unknown support column ({framework!r}, {dtype!r})"
+            ) from None
+
+    def post_tasks_for(self, dtype):
+        """Dequantization applies to quantized models only (Table I '*')."""
+        tasks = [task.rstrip("*") for task in self.post_tasks]
+        if dtype != "int8":
+            tasks = [task for task in tasks if task != "dequantization"]
+        return tuple(tasks)
+
+
+_CLASSIFY_PRE = ("scale", "crop", "normalize")
+_CLASSIFY_POST = ("topK", "dequantization*")
+
+MODEL_CARDS = {
+    "mobilenet_v1": ModelCard(
+        "mobilenet_v1", "classification", "MobileNet 1.0 v1", "224x224",
+        _CLASSIFY_PRE, _CLASSIFY_POST, True, True, True, True,
+        build_mobilenet_v1,
+    ),
+    "nasnet_mobile": ModelCard(
+        "nasnet_mobile", "classification", "NasNet Mobile", "331x331",
+        _CLASSIFY_PRE, _CLASSIFY_POST, True, False, True, False,
+        build_nasnet_mobile,
+    ),
+    "squeezenet": ModelCard(
+        "squeezenet", "classification", "SqueezeNet", "227x227",
+        _CLASSIFY_PRE, _CLASSIFY_POST, True, False, True, False,
+        build_squeezenet,
+    ),
+    "efficientnet_lite0": ModelCard(
+        "efficientnet_lite0", "classification", "EfficientNet-Lite0", "224x224",
+        _CLASSIFY_PRE, _CLASSIFY_POST, True, True, True, True,
+        build_efficientnet_lite0,
+    ),
+    "alexnet": ModelCard(
+        "alexnet", "classification", "AlexNet", "256x256",
+        _CLASSIFY_PRE, _CLASSIFY_POST, False, False, True, True,
+        build_alexnet,
+    ),
+    "inception_v4": ModelCard(
+        "inception_v4", "face_recognition", "Inception v4", "299x299",
+        _CLASSIFY_PRE, _CLASSIFY_POST, True, True, True, True,
+        build_inception_v4,
+    ),
+    "inception_v3": ModelCard(
+        "inception_v3", "face_recognition", "Inception v3", "299x299",
+        _CLASSIFY_PRE, _CLASSIFY_POST, True, True, True, True,
+        build_inception_v3,
+    ),
+    "deeplab_v3": ModelCard(
+        "deeplab_v3", "segmentation", "Deeplab-v3 Mobilenet-v2", "513x513",
+        ("scale", "normalize"), ("mask flattening",), True, False, True, False,
+        build_deeplab_v3,
+    ),
+    "ssd_mobilenet_v2": ModelCard(
+        "ssd_mobilenet_v2", "object_detection", "SSD MobileNet v2", "300x300",
+        _CLASSIFY_PRE, _CLASSIFY_POST, True, True, True, True,
+        build_ssd_mobilenet_v2,
+    ),
+    "posenet": ModelCard(
+        "posenet", "pose_estimation", "PoseNet", "224x224",
+        ("scale", "crop", "normalize", "rotate"), ("calculate keypoints",),
+        True, False, True, False,
+        build_posenet,
+    ),
+    "mobile_bert": ModelCard(
+        "mobile_bert", "language_processing", "Mobile BERT", "-",
+        ("tokenization",), ("topK", "compute logits"), True, False, True, False,
+        build_mobile_bert,
+    ),
+}
+
+
+def model_card(key):
+    """Look up a Table-I row by model key."""
+    try:
+        return MODEL_CARDS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {key!r}; available: {sorted(MODEL_CARDS)}"
+        ) from None
+
+
+@lru_cache(maxsize=None)
+def load_model(key, dtype="fp32"):
+    """Build (and cache) a model graph in the requested dtype."""
+    card = model_card(key)
+    graph = card.builder()
+    if dtype == "fp32":
+        return graph
+    if dtype == "int8":
+        return quantize_graph(graph)
+    if dtype == "fp16":
+        return graph.with_dtype("fp16")
+    raise ValueError(f"unsupported dtype {dtype!r}")

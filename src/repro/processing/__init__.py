@@ -1,0 +1,97 @@
+"""Pre- and post-processing algorithms (paper §II-B, §II-E).
+
+Every algorithm the paper names — bitmap format conversion, bilinear
+scaling, center crop, normalization, rotation, type conversion /
+quantization, topK, dequantization, mask flattening, keypoint decoding,
+bounding-box decoding + NMS, and BERT tokenization — is implemented for
+real in numpy *and* paired with an analytic cost model
+(:mod:`repro.processing.costs`) that the simulator charges as CPU work.
+
+The cost models distinguish a ``native`` implementation (vectorized
+TFLite support library) from a ``java`` one (the per-pixel loops in the
+example Android apps), because the gap between those two is part of the
+algorithmic AI tax the paper measures.
+"""
+
+from repro.processing.costs import (
+    IMPL_JAVA,
+    IMPL_NATIVE,
+    bitmap_convert_cost_us,
+    crop_cost_us,
+    dequantize_cost_us,
+    keypoint_decode_cost_us,
+    mask_flatten_cost_us,
+    nms_cost_us,
+    normalize_cost_us,
+    quantize_cost_us,
+    random_input_cost_us,
+    resize_cost_us,
+    rotate_cost_us,
+    tokenize_cost_us,
+    topk_cost_us,
+)
+from repro.processing.image import (
+    bilinear_resize,
+    center_crop,
+    normalize,
+    quantize_to_uint8,
+    rotate90,
+    to_float,
+    yuv_nv21_to_argb,
+)
+from repro.processing.pipeline import (
+    PostprocessPlan,
+    Preprocessor,
+    build_postprocess_plan,
+    build_preprocessor,
+)
+from repro.processing.post import (
+    decode_boxes,
+    decode_keypoints,
+    dequantize_scores,
+    flatten_mask,
+    non_max_suppression,
+    top_k,
+)
+from repro.processing.quantization import QuantParams, dequantize, quantize
+from repro.processing.text import compute_logits, wordpiece_tokenize
+
+__all__ = [
+    "IMPL_JAVA",
+    "IMPL_NATIVE",
+    "bitmap_convert_cost_us",
+    "crop_cost_us",
+    "dequantize_cost_us",
+    "keypoint_decode_cost_us",
+    "mask_flatten_cost_us",
+    "nms_cost_us",
+    "normalize_cost_us",
+    "quantize_cost_us",
+    "random_input_cost_us",
+    "resize_cost_us",
+    "rotate_cost_us",
+    "tokenize_cost_us",
+    "topk_cost_us",
+    "bilinear_resize",
+    "center_crop",
+    "normalize",
+    "quantize_to_uint8",
+    "rotate90",
+    "to_float",
+    "yuv_nv21_to_argb",
+    "PostprocessPlan",
+    "Preprocessor",
+    "build_postprocess_plan",
+    "build_preprocessor",
+    "decode_boxes",
+    "decode_keypoints",
+    "dequantize_scores",
+    "flatten_mask",
+    "non_max_suppression",
+    "top_k",
+    "QuantParams",
+    "dequantize",
+    "quantize",
+    "compute_logits",
+    "wordpiece_tokenize",
+]

@@ -1,0 +1,99 @@
+"""Calibration harness: real kernel timings vs the cost models.
+
+The simulator charges pre-processing time from analytic per-element
+models (:mod:`repro.processing.costs`). This harness times the *real*
+numpy implementations on the host and reports measured ns/element next
+to the model's ``native`` coefficients, so the constants can be sanity-
+checked or re-derived on new hardware.
+
+Host numpy is not a Snapdragon, so agreement is not expected to be
+exact; what matters is that the measured values are the right order of
+magnitude and preserve the cost model's *ordering* (bitmap conversion >
+resize > normalize > crop per element).
+
+Run:  python -m repro.processing.calibrate
+"""
+
+import time
+
+import numpy as np
+
+from repro.processing import costs
+from repro.processing.image import (
+    bilinear_resize,
+    center_crop,
+    normalize,
+    quantize_to_uint8,
+    rotate90,
+    yuv_nv21_to_argb,
+)
+
+
+def _time_kernel(func, *args, repeats=5):
+    """Median wall time of ``func(*args)`` over ``repeats`` runs (us)."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func(*args)
+        samples.append((time.perf_counter() - start) * 1e6)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def measure_host_kernels(height=480, width=640, out_side=224, seed=0):
+    """Measured (kernel, elements, us, ns_per_element) rows on this host."""
+    rng = np.random.default_rng(seed)
+    nv21 = rng.integers(0, 256, size=height * width * 3 // 2).astype(np.uint8)
+    rgb = rng.integers(0, 256, size=(height, width, 3)).astype(np.uint8)
+    small = rng.integers(0, 256, size=(out_side, out_side, 3)).astype(np.uint8)
+
+    cases = [
+        ("bitmap_convert", height * width,
+         lambda: yuv_nv21_to_argb(nv21, height, width)),
+        ("resize", out_side * out_side * 3,
+         lambda: bilinear_resize(rgb, (out_side, out_side))),
+        ("crop", out_side * out_side * 3,
+         lambda: center_crop(rgb, (out_side, out_side)).copy()),
+        ("normalize", out_side * out_side * 3, lambda: normalize(small)),
+        ("rotate", out_side * out_side * 3, lambda: rotate90(small).copy()),
+        ("quantize", out_side * out_side * 3,
+         lambda: quantize_to_uint8(small.astype(np.float32))),
+    ]
+    rows = []
+    for name, elements, thunk in cases:
+        elapsed_us = _time_kernel(thunk)
+        rows.append((name, elements, elapsed_us, elapsed_us * 1e3 / elements))
+    return rows
+
+
+def compare_with_model(rows=None):
+    """(kernel, measured ns/elem, model native ns/elem) triples."""
+    if rows is None:
+        rows = measure_host_kernels()
+    model_ns = {name: pair[0] for name, pair in costs._NS_PER_ELEM.items()}
+    comparison = []
+    for name, _elements, _us, measured_ns in rows:
+        comparison.append((name, measured_ns, model_ns.get(name)))
+    return comparison
+
+
+def main():
+    from repro.core.report import render_table
+
+    rows = measure_host_kernels()
+    comparison = compare_with_model(rows)
+    table = [
+        (name, measured, model if model is not None else "-")
+        for name, measured, model in comparison
+    ]
+    print(
+        render_table(
+            ("kernel", "host ns/elem", "model native ns/elem"),
+            table,
+            title="Pre-processing kernel calibration (host vs cost model)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Analytic cost models for processing kernels.
+
+Costs are **reference microseconds** (big SD845 core at max frequency;
+see :mod:`repro.soc.params`) as a function of data volume. Two
+implementation tiers exist because the paper's app measurements run the
+TFLite *Java* example-app loops while benchmark pre-processing (where it
+happens at all) is vectorized native code:
+
+* ``native`` — NEON-vectorized TFLite support library routines;
+* ``java`` — per-pixel managed-code loops of the example apps.
+
+The ``random_input_cost_us`` model encodes the standard-library quirk
+the paper calls out in §IV-A: against libc++, generating random *reals*
+is significantly faster than random *integers*; against libstdc++ the
+behaviour inverts.
+"""
+
+IMPL_NATIVE = "native"
+IMPL_JAVA = "java"
+
+#: Per-element costs in nanoseconds, (native, java).
+_NS_PER_ELEM = {
+    "bitmap_convert": (6.0, 20.0),
+    "resize": (4.0, 15.0),
+    "crop": (0.8, 3.0),
+    "normalize": (1.2, 8.0),
+    "rotate": (2.5, 15.0),
+    "quantize": (1.5, 5.0),
+    "dequantize": (1.5, 5.0),
+}
+
+#: Fixed per-call overhead (us): JNI crossing + allocation for Java.
+_CALL_OVERHEAD_US = {IMPL_NATIVE: 2.0, IMPL_JAVA: 40.0}
+
+
+def _per_elem(task, elements, impl):
+    native_ns, java_ns = _NS_PER_ELEM[task]
+    ns = native_ns if impl == IMPL_NATIVE else java_ns
+    return _CALL_OVERHEAD_US[impl] + elements * ns / 1_000.0
+
+
+def bitmap_convert_cost_us(width, height, impl=IMPL_JAVA):
+    """YUV NV21 -> ARGB conversion over the full camera frame."""
+    return _per_elem("bitmap_convert", width * height, impl)
+
+
+def resize_cost_us(out_hw, channels=3, impl=IMPL_NATIVE):
+    """Bilinear scaling; quadratic in output size (paper §II-B)."""
+    out_h, out_w = out_hw
+    return _per_elem("resize", out_h * out_w * channels, impl)
+
+
+def crop_cost_us(out_hw, channels=3, impl=IMPL_NATIVE):
+    out_h, out_w = out_hw
+    return _per_elem("crop", out_h * out_w * channels, impl)
+
+
+def normalize_cost_us(hw, channels=3, impl=IMPL_NATIVE):
+    h, w = hw
+    return _per_elem("normalize", h * w * channels, impl)
+
+
+def rotate_cost_us(hw, channels=3, impl=IMPL_NATIVE):
+    """Rotation scales quadratically with image size (paper §II-B)."""
+    h, w = hw
+    return _per_elem("rotate", h * w * channels, impl)
+
+
+def quantize_cost_us(elements, impl=IMPL_NATIVE):
+    return _per_elem("quantize", elements, impl)
+
+
+def dequantize_cost_us(elements, impl=IMPL_NATIVE):
+    return _per_elem("dequantize", elements, impl)
+
+
+def topk_cost_us(classes, k=5):
+    """Partial selection over the class scores (cheap: sub-ms)."""
+    return 3.0 + classes * 0.002 + k * 0.05
+
+
+def mask_flatten_cost_us(hw, classes):
+    """Per-pixel argmax over class logits (DeepLab post-processing)."""
+    h, w = hw
+    return 10.0 + h * w * classes * 0.001
+
+
+def keypoint_decode_cost_us(grid_hw, keypoints):
+    """PoseNet heatmap argmax + offset refinement + image mapping."""
+    grid_h, grid_w = grid_hw
+    return 25.0 + grid_h * grid_w * keypoints * 0.004 + keypoints * 1.5
+
+
+def nms_cost_us(anchors, detections=10):
+    """SSD box decode + greedy NMS over all anchors."""
+    return 40.0 + anchors * 0.015 + detections * anchors * 0.002
+
+
+def tokenize_cost_us(text_chars, impl=IMPL_JAVA):
+    """WordPiece tokenization: dictionary probes per character."""
+    per_char_ns = 120.0 if impl == IMPL_JAVA else 45.0
+    return _CALL_OVERHEAD_US[impl] + text_chars * per_char_ns / 1_000.0
+
+
+def random_input_cost_us(elements, dtype, stdlib="libc++"):
+    """Benchmark "data capture": std::uniform_*_distribution fills.
+
+    The paper found libc++ generates reals much faster than integers
+    while libstdc++ shows the exact opposite — a fallacy of using random
+    generation as a stand-in for data capture.
+    """
+    rates = {
+        # ns per element for (real, integer) generation.
+        "libc++": (3.0, 16.0),
+        "libstdc++": (14.0, 4.0),
+    }
+    try:
+        real_ns, int_ns = rates[stdlib]
+    except KeyError:
+        raise ValueError(f"unknown stdlib {stdlib!r}") from None
+    ns = int_ns if dtype in ("int8", "uint8", "int32") else real_ns
+    return 1.0 + elements * ns / 1_000.0

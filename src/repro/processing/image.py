@@ -1,0 +1,112 @@
+"""Image pre-processing kernels (real numpy implementations).
+
+These mirror the operations the paper catalogues in §II-B for the
+TFLite Android example apps: YUV NV21 camera frames are converted to
+ARGB, scaled with bilinear interpolation, center-cropped, normalized to
+zero mean / unit variance, rotated to match sensor orientation, and
+type-converted (quantized) to the model's input dtype.
+"""
+
+import numpy as np
+
+
+def yuv_nv21_to_argb(yuv, height, width):
+    """Convert an NV21 byte buffer to an (H, W, 3) uint8 RGB image.
+
+    NV21 layout: ``height*width`` luma bytes followed by interleaved
+    V/U chroma at quarter resolution. Uses the integer BT.601 math of
+    the Android sample code.
+    """
+    yuv = np.asarray(yuv, dtype=np.uint8)
+    expected = height * width * 3 // 2
+    if yuv.size != expected:
+        raise ValueError(
+            f"NV21 buffer for {width}x{height} needs {expected} bytes, "
+            f"got {yuv.size}"
+        )
+    luma = yuv[: height * width].reshape(height, width).astype(np.int32)
+    chroma = yuv[height * width:].reshape(height // 2, width // 2, 2)
+    v_plane = chroma[..., 0].astype(np.int32) - 128
+    u_plane = chroma[..., 1].astype(np.int32) - 128
+    # Upsample chroma to full resolution (nearest neighbour).
+    v_full = np.repeat(np.repeat(v_plane, 2, axis=0), 2, axis=1)
+    u_full = np.repeat(np.repeat(u_plane, 2, axis=0), 2, axis=1)
+    red = luma + ((1436 * v_full) >> 10)
+    green = luma - ((352 * u_full + 731 * v_full) >> 10)
+    blue = luma + ((1814 * u_full) >> 10)
+    rgb = np.stack([red, green, blue], axis=-1)
+    return np.clip(rgb, 0, 255).astype(np.uint8)
+
+
+def bilinear_resize(image, out_hw):
+    """Resize an (H, W, C) image with bilinear interpolation.
+
+    Uses the half-pixel-center convention of TensorFlow's
+    ``resize_bilinear`` with ``half_pixel_centers=True``.
+    """
+    image = np.asarray(image)
+    in_h, in_w = image.shape[:2]
+    out_h, out_w = out_hw
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(f"bad output size {out_hw}")
+    if (in_h, in_w) == (out_h, out_w):
+        return image.astype(np.float32, copy=True)
+
+    scale_y = in_h / out_h
+    scale_x = in_w / out_w
+    ys = (np.arange(out_h) + 0.5) * scale_y - 0.5
+    xs = (np.arange(out_w) + 0.5) * scale_x - 0.5
+    y0 = np.clip(np.floor(ys), 0, in_h - 1).astype(np.int64)
+    x0 = np.clip(np.floor(xs), 0, in_w - 1).astype(np.int64)
+    y1 = np.minimum(y0 + 1, in_h - 1)
+    x1 = np.minimum(x0 + 1, in_w - 1)
+    wy = np.clip(ys - y0, 0.0, 1.0)[:, None, None]
+    wx = np.clip(xs - x0, 0.0, 1.0)[None, :, None]
+
+    img = image.astype(np.float32)
+    if img.ndim == 2:
+        img = img[:, :, None]
+        squeeze = True
+    else:
+        squeeze = False
+    top = img[y0][:, x0] * (1 - wx) + img[y0][:, x1] * wx
+    bottom = img[y1][:, x0] * (1 - wx) + img[y1][:, x1] * wx
+    out = top * (1 - wy) + bottom * wy
+    return out[..., 0] if squeeze else out
+
+
+def center_crop(image, crop_hw):
+    """Crop the central ``crop_hw`` region of an (H, W, C) image."""
+    image = np.asarray(image)
+    in_h, in_w = image.shape[:2]
+    crop_h, crop_w = crop_hw
+    if crop_h > in_h or crop_w > in_w:
+        raise ValueError(
+            f"crop {crop_hw} larger than image {(in_h, in_w)}"
+        )
+    top = (in_h - crop_h) // 2
+    left = (in_w - crop_w) // 2
+    return image[top: top + crop_h, left: left + crop_w]
+
+
+def normalize(image, mean=127.5, std=127.5):
+    """Zero-mean unit-variance normalization (per the TFLite apps)."""
+    if std == 0:
+        raise ValueError("std must be non-zero")
+    return (np.asarray(image, dtype=np.float32) - mean) / std
+
+
+def rotate90(image, turns=1):
+    """Rotate by multiples of 90 degrees (sensor orientation fix-up)."""
+    return np.rot90(np.asarray(image), k=-turns % 4, axes=(0, 1))
+
+
+def to_float(image, scale=1.0 / 255.0):
+    """Raw byte image to float in [0, 1]."""
+    return np.asarray(image, dtype=np.float32) * scale
+
+
+def quantize_to_uint8(image, scale=1.0, zero_point=0):
+    """Type conversion for quantized models (float -> uint8)."""
+    values = np.round(np.asarray(image, dtype=np.float32) / scale) + zero_point
+    return np.clip(values, 0, 255).astype(np.uint8)

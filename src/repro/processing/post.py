@@ -1,0 +1,125 @@
+"""Post-processing kernels (paper §II-E).
+
+Image classification needs only topK (plus dequantization for quantized
+models); segmentation flattens a per-pixel class mask; pose estimation
+decodes keypoints from heatmaps + offsets; object detection decodes
+anchor boxes and runs non-max suppression.
+"""
+
+import numpy as np
+
+from repro.processing.quantization import dequantize
+
+
+def top_k(scores, k=5, labels=None):
+    """Indices (or labels) and scores of the k best classes, descending."""
+    scores = np.asarray(scores).reshape(-1)
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    k = min(k, scores.size)
+    order = np.argpartition(-scores, k - 1)[:k]
+    order = order[np.argsort(-scores[order], kind="stable")]
+    if labels is not None:
+        return [(labels[index], float(scores[index])) for index in order]
+    return [(int(index), float(scores[index])) for index in order]
+
+
+def dequantize_scores(quantized, params):
+    """Dequantize a quantized model's output tensor (Table I's '*')."""
+    return dequantize(quantized, params)
+
+
+def flatten_mask(logits):
+    """Segmentation "mask flattening": per-pixel argmax to a flat mask.
+
+    ``logits`` is (H, W, classes); returns a flat int32 array of length
+    H*W as the DeepLab demo app produces for rendering.
+    """
+    logits = np.asarray(logits)
+    if logits.ndim != 3:
+        raise ValueError(f"expected (H, W, C) logits, got shape {logits.shape}")
+    return np.argmax(logits, axis=-1).astype(np.int32).reshape(-1)
+
+
+def decode_keypoints(heatmaps, offsets, output_stride=16):
+    """PoseNet keypoint decoding.
+
+    For each of K keypoints: take the argmax heatmap cell, then refine
+    with the (dy, dx) offset vectors. Returns (K, 3) array of
+    ``(y, x, score)`` in input-image pixel coordinates.
+    """
+    heatmaps = np.asarray(heatmaps)
+    offsets = np.asarray(offsets)
+    grid_h, grid_w, keypoints = heatmaps.shape
+    if offsets.shape != (grid_h, grid_w, 2 * keypoints):
+        raise ValueError(
+            f"offsets shape {offsets.shape} does not match heatmaps "
+            f"{heatmaps.shape}"
+        )
+    result = np.zeros((keypoints, 3), dtype=np.float32)
+    for index in range(keypoints):
+        plane = heatmaps[:, :, index]
+        flat = int(np.argmax(plane))
+        cell_y, cell_x = divmod(flat, grid_w)
+        dy = offsets[cell_y, cell_x, index]
+        dx = offsets[cell_y, cell_x, index + keypoints]
+        result[index, 0] = cell_y * output_stride + dy
+        result[index, 1] = cell_x * output_stride + dx
+        result[index, 2] = plane[cell_y, cell_x]
+    return result
+
+
+def decode_boxes(box_encodings, anchors, scale_factors=(10.0, 10.0, 5.0, 5.0)):
+    """SSD box decoding: anchor-relative encodings to corner boxes.
+
+    ``box_encodings`` and ``anchors`` are (N, 4) in
+    ``(ty, tx, th, tw)`` / ``(cy, cx, h, w)`` form; returns (N, 4)
+    ``(ymin, xmin, ymax, xmax)``.
+    """
+    box_encodings = np.asarray(box_encodings, dtype=np.float32)
+    anchors = np.asarray(anchors, dtype=np.float32)
+    if box_encodings.shape != anchors.shape or box_encodings.shape[-1] != 4:
+        raise ValueError("box encodings and anchors must both be (N, 4)")
+    ty, tx, th, tw = (box_encodings[:, i] / scale_factors[i] for i in range(4))
+    cy = ty * anchors[:, 2] + anchors[:, 0]
+    cx = tx * anchors[:, 3] + anchors[:, 1]
+    h = np.exp(th) * anchors[:, 2]
+    w = np.exp(tw) * anchors[:, 3]
+    return np.stack([cy - h / 2, cx - w / 2, cy + h / 2, cx + w / 2], axis=1)
+
+
+def _iou(box, others):
+    inter_ymin = np.maximum(box[0], others[:, 0])
+    inter_xmin = np.maximum(box[1], others[:, 1])
+    inter_ymax = np.minimum(box[2], others[:, 2])
+    inter_xmax = np.minimum(box[3], others[:, 3])
+    inter = np.clip(inter_ymax - inter_ymin, 0, None) * np.clip(
+        inter_xmax - inter_xmin, 0, None
+    )
+    area_box = (box[2] - box[0]) * (box[3] - box[1])
+    area_others = (others[:, 2] - others[:, 0]) * (others[:, 3] - others[:, 1])
+    union = area_box + area_others - inter
+    return np.where(union > 0, inter / union, 0.0)
+
+
+def non_max_suppression(boxes, scores, iou_threshold=0.5, max_detections=10):
+    """Greedy NMS; returns indices of kept boxes, best first."""
+    boxes = np.asarray(boxes, dtype=np.float32)
+    scores = np.asarray(scores, dtype=np.float32).reshape(-1)
+    if boxes.shape[0] != scores.shape[0]:
+        raise ValueError("boxes and scores disagree on N")
+    order = list(np.argsort(-scores, kind="stable"))
+    keep = []
+    while order and len(keep) < max_detections:
+        best = order.pop(0)
+        keep.append(int(best))
+        if not order:
+            break
+        remaining = np.array(order)
+        ious = _iou(boxes[best], boxes[remaining])
+        order = [
+            int(index)
+            for index, iou in zip(remaining, ious)
+            if iou <= iou_threshold
+        ]
+    return keep

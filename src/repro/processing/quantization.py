@@ -1,0 +1,40 @@
+"""Affine quantization helpers (uint8 <-> float)."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Affine quantization parameters: ``real = scale * (q - zero_point)``."""
+
+    scale: float
+    zero_point: int
+
+    def __post_init__(self):
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if not 0 <= self.zero_point <= 255:
+            raise ValueError(f"zero_point out of uint8 range: {self.zero_point}")
+
+    @classmethod
+    def from_range(cls, low, high):
+        """Parameters covering the real interval [low, high]."""
+        if high <= low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        scale = (high - low) / 255.0
+        zero_point = int(round(-low / scale))
+        return cls(scale=scale, zero_point=int(np.clip(zero_point, 0, 255)))
+
+
+def quantize(values, params):
+    """Real-valued array to uint8 under ``params``."""
+    q = np.round(np.asarray(values, dtype=np.float32) / params.scale)
+    return np.clip(q + params.zero_point, 0, 255).astype(np.uint8)
+
+
+def dequantize(quantized, params):
+    """uint8 array back to float32 under ``params``."""
+    q = np.asarray(quantized, dtype=np.float32)
+    return (q - params.zero_point) * params.scale

@@ -1,0 +1,92 @@
+"""Text pre/post-processing for MobileBERT.
+
+A greedy longest-match-first WordPiece tokenizer (the algorithm the BERT
+reference implementation uses) plus SQuAD-style answer-logit
+post-processing.
+"""
+
+import numpy as np
+
+#: A compact built-in vocabulary sufficient for tests and examples.
+_BASE_VOCAB = (
+    "[PAD] [UNK] [CLS] [SEP] the a an and or of to in is was for on with "
+    "as by at from be are were this that it he she they we you i not have "
+    "has had do does did can could will would should may might must there "
+    "what when where who why how which while about into over under again "
+    "mobile phone soc chip hardware software benchmark model inference "
+    "machine learning neural network performance latency tax time run"
+).split()
+_SUFFIXES = ["##s", "##ing", "##ed", "##er", "##est", "##ly", "##ness"]
+_CHAR_PIECES = [c for c in "abcdefghijklmnopqrstuvwxyz0123456789"]
+
+
+def default_vocab():
+    """Vocabulary dict mapping token -> id."""
+    pieces = list(_BASE_VOCAB) + _SUFFIXES + _CHAR_PIECES
+    pieces += ["##" + c for c in _CHAR_PIECES]
+    return {piece: index for index, piece in enumerate(pieces)}
+
+
+def wordpiece_tokenize(text, vocab=None, max_len=384):
+    """Tokenize ``text`` into ids: [CLS] pieces... [SEP], padded.
+
+    Greedy longest-prefix matching per word; unknown segments map to
+    ``[UNK]``. Returns an int32 array of length ``max_len``.
+    """
+    if vocab is None:
+        vocab = default_vocab()
+    unk = vocab["[UNK]"]
+    ids = [vocab["[CLS]"]]
+    for word in text.lower().split():
+        word = "".join(ch for ch in word if ch.isalnum())
+        if not word:
+            continue
+        start = 0
+        pieces = []
+        while start < len(word):
+            end = len(word)
+            piece_id = None
+            while start < end:
+                candidate = word[start:end]
+                if start > 0:
+                    candidate = "##" + candidate
+                if candidate in vocab:
+                    piece_id = vocab[candidate]
+                    break
+                end -= 1
+            if piece_id is None:
+                pieces = [unk]
+                break
+            pieces.append(piece_id)
+            start = end
+        ids.extend(pieces)
+        if len(ids) >= max_len - 1:
+            break
+    ids = ids[: max_len - 1]
+    ids.append(vocab["[SEP]"])
+    padded = np.zeros(max_len, dtype=np.int32)
+    padded[: len(ids)] = ids
+    return padded
+
+
+def compute_logits(start_logits, end_logits, top_k=5, max_answer_len=30):
+    """SQuAD answer-span selection from start/end logits.
+
+    Returns a list of ``(start, end, score)`` tuples, best first —
+    the "compute logits" post-processing task of Table I.
+    """
+    start_logits = np.asarray(start_logits, dtype=np.float32).reshape(-1)
+    end_logits = np.asarray(end_logits, dtype=np.float32).reshape(-1)
+    if start_logits.shape != end_logits.shape:
+        raise ValueError("start/end logits must have equal length")
+    seq_len = start_logits.size
+    starts = np.argsort(-start_logits, kind="stable")[:top_k]
+    ends = np.argsort(-end_logits, kind="stable")[:top_k]
+    spans = []
+    for start in starts:
+        for end in ends:
+            if start <= end < start + max_answer_len and end < seq_len:
+                score = float(start_logits[start] + end_logits[end])
+                spans.append((int(start), int(end), score))
+    spans.sort(key=lambda span: -span[2])
+    return spans[:top_k]

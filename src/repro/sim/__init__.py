@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel.
+
+A compact, deterministic, generator-based simulator in the style of simpy.
+Every timed behaviour in the reproduction (CPU scheduling, DSP offload,
+camera frames, thermal updates) is expressed as a :class:`Process` whose
+body is a Python generator yielding :class:`Event` objects.
+
+Time is a float in **microseconds**; helpers in :mod:`repro.sim.units`
+convert to and from milliseconds and seconds.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, Timeout, AllOf, AnyOf, Interrupted
+from repro.sim.process import Process
+from repro.sim.resources import Resource, PriorityResource, Store
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Span, TraceRecorder
+from repro.sim import units
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupted",
+    "Process",
+    "Resource",
+    "PriorityResource",
+    "Store",
+    "RngStreams",
+    "Span",
+    "TraceRecorder",
+    "units",
+]

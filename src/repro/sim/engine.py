@@ -1,0 +1,126 @@
+"""The simulation engine: clock, schedule, and run loop."""
+
+import heapq
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceRecorder
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    The schedule is a heap of ``(time, priority, sequence, event)`` entries.
+    The sequence number breaks ties so that events scheduled earlier run
+    earlier, which keeps runs bit-for-bit reproducible.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the named RNG streams available as :attr:`rng`.
+    trace:
+        When True, a :class:`TraceRecorder` collects spans and counters.
+    """
+
+    #: Priority for ordinary events.
+    PRIORITY_NORMAL = 1
+    #: Priority for "urgent" bookkeeping events (run before normal ones).
+    PRIORITY_URGENT = 0
+
+    def __init__(self, seed=0, trace=False):
+        self.now = 0.0
+        self.rng = RngStreams(seed)
+        self.trace = TraceRecorder(self) if trace else None
+        self._queue = []
+        self._sequence = 0
+        self._active_process = None
+
+    # -- scheduling ---------------------------------------------------
+
+    def _schedule(self, event, delay=0.0, priority=PRIORITY_NORMAL):
+        heapq.heappush(
+            self._queue, (self.now + delay, priority, self._sequence, event)
+        )
+        self._sequence += 1
+
+    def schedule_callback(self, delay, callback, name=None):
+        """Run ``callback(value)`` after ``delay`` microseconds."""
+        event = Timeout(self, delay, name=name)
+        event.callbacks.append(callback)
+        return event
+
+    # -- event factories ----------------------------------------------
+
+    def event(self, name=None):
+        """Create an untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay, value=None, name=None):
+        """Create an event that fires after ``delay`` microseconds."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator, name=None):
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events):
+        """Event that succeeds when all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """Event that succeeds when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # -- run loop -----------------------------------------------------
+
+    def step(self):
+        """Process a single event. Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _priority, _seq, event = heapq.heappop(self._queue)
+        if time < self.now:
+            raise RuntimeError("schedule went backwards in time")
+        self.now = time
+        callbacks, event.callbacks = event.callbacks, []
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+        return True
+
+    def run(self, until=None):
+        """Run until the schedule drains, a time, or an event.
+
+        ``until`` may be ``None`` (drain the queue), a number (absolute
+        simulation time in microseconds), or an :class:`Event` (stop once
+        it has been processed and return its value).
+        """
+        if until is None:
+            while self.step():
+                pass
+            return None
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        deadline = float(until)
+        if deadline < self.now:
+            raise ValueError(f"until={deadline} is in the past (now={self.now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self.now = deadline
+        return None
+
+    def _run_until_event(self, event):
+        stopped = []
+        event.callbacks.append(lambda ev: stopped.append(ev))
+        while not stopped:
+            if not self.step():
+                raise RuntimeError(
+                    f"schedule drained before {event!r} was triggered"
+                )
+        if event._exception is not None:
+            raise event._exception
+        return event._value
+
+    def peek(self):
+        """Time of the next scheduled event, or infinity when idle."""
+        return self._queue[0][0] if self._queue else float("inf")

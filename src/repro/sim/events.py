@@ -1,0 +1,158 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence that processes may wait on.
+Events succeed with a value or fail with an exception; callbacks attached
+to an event run when the simulator pops it off the schedule.
+"""
+
+PENDING = "pending"
+TRIGGERED = "triggered"
+PROCESSED = "processed"
+
+
+class Interrupted(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        Owning :class:`~repro.sim.engine.Simulator`.
+    name:
+        Optional label used in ``repr`` and traces.
+    """
+
+    def __init__(self, sim, name=None):
+        self.sim = sim
+        self.name = name
+        self.callbacks = []
+        self._state = PENDING
+        self._value = None
+        self._exception = None
+
+    @property
+    def triggered(self):
+        return self._state != PENDING
+
+    @property
+    def processed(self):
+        return self._state == PROCESSED
+
+    @property
+    def ok(self):
+        """True when the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self):
+        if not self.triggered:
+            raise RuntimeError(f"{self!r} has not been triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value=None):
+        """Trigger the event with ``value``; schedules callbacks at now."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._state = TRIGGERED
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception):
+        """Trigger the event with an exception to raise in waiters."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() expects an exception instance")
+        self._state = TRIGGERED
+        self._exception = exception
+        self.sim._schedule(self)
+        return self
+
+    def _mark_processed(self):
+        self._state = PROCESSED
+
+    def __repr__(self):
+        label = self.name or self.__class__.__name__
+        return f"<Event {label} state={self._state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation."""
+
+    def __init__(self, sim, delay, value=None, name=None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=name or f"timeout({delay})")
+        self.delay = delay
+        self._state = TRIGGERED
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    def __init__(self, sim, events, name):
+        super().__init__(sim, name=name)
+        self.events = list(events)
+        self._done = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _collect(self):
+        return {
+            index: event._value
+            for index, event in enumerate(self.events)
+            if event.processed and event._exception is None
+        }
+
+    def _on_child(self, event):
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds when every child event has succeeded."""
+
+    def __init__(self, sim, events, name=None):
+        super().__init__(sim, events, name or "all_of")
+
+    def _on_child(self, event):
+        if self.triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._done += 1
+        if self._done == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Succeeds as soon as one child event succeeds."""
+
+    def __init__(self, sim, events, name=None):
+        super().__init__(sim, events, name or "any_of")
+
+    def _on_child(self, event):
+        if self.triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self.succeed(self._collect())

@@ -1,0 +1,88 @@
+"""Generator-based simulation processes."""
+
+from repro.sim.events import Event, Interrupted
+
+
+class Process(Event):
+    """A coroutine driven by the simulator.
+
+    The body is a generator that yields :class:`Event` objects; the process
+    resumes when the yielded event triggers, receiving the event's value at
+    the yield point (or its exception raised there). The process itself is
+    an event that triggers with the generator's return value, so processes
+    can wait on one another.
+    """
+
+    def __init__(self, sim, generator, name=None):
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        self._generator = generator
+        self._waiting_on = None
+        # Kick off on the next schedule slot at the current time.
+        bootstrap = Event(sim, name=f"{self.name}:start")
+        bootstrap.callbacks.append(self._resume)
+        bootstrap._state = "triggered"
+        sim._schedule(bootstrap, priority=sim.PRIORITY_URGENT)
+
+    @property
+    def is_alive(self):
+        return not self.triggered
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupted` into the process at its yield point."""
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        wakeup = Event(self.sim, name=f"{self.name}:interrupt")
+        wakeup.callbacks.append(
+            lambda ev: self._step(Interrupted(cause), throw=True)
+        )
+        wakeup._state = "triggered"
+        self.sim._schedule(wakeup, priority=self.sim.PRIORITY_URGENT)
+
+    # -- internal -------------------------------------------------------
+
+    def _resume(self, event):
+        if self.triggered:
+            return
+        self._waiting_on = None
+        if event._exception is not None:
+            self._step(event._exception, throw=True)
+        else:
+            self._step(event._value, throw=False)
+
+    def _step(self, payload, throw):
+        previous, self.sim._active_process = self.sim._active_process, self
+        try:
+            if throw:
+                target = self._generator.throw(payload)
+            else:
+                target = self._generator.send(payload)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except Interrupted as exc:
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = previous
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; expected an Event"
+            )
+        self._waiting_on = target
+        if target.processed:
+            # Already-processed events resume the process immediately (at
+            # the current time) via a fresh bookkeeping event.
+            relay = Event(self.sim, name=f"{self.name}:relay")
+            relay.callbacks.append(self._resume)
+            relay._state = "triggered"
+            relay._value = target._value
+            relay._exception = target._exception
+            self.sim._schedule(relay, priority=self.sim.PRIORITY_URGENT)
+        else:
+            target.callbacks.append(self._resume)

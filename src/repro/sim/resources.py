@@ -1,0 +1,140 @@
+"""Shared resources with FIFO and priority queueing.
+
+The DSP in the simulated SoC is a capacity-1 :class:`Resource`: the paper
+observes that "most hardware today supports the execution of one model at
+a time", and the linear latency growth in Fig. 9 is exactly the queueing
+delay this models.
+"""
+
+import heapq
+import itertools
+
+from repro.sim.events import Event
+
+
+class _RequestEvent(Event):
+    """Event handed to a requester; succeeds when the resource is granted."""
+
+    def __init__(self, sim, resource, name):
+        super().__init__(sim, name=name)
+        self.resource = resource
+        self.granted = False
+
+    def release(self):
+        self.resource.release(self)
+
+
+class Resource:
+    """A resource with ``capacity`` concurrent slots and a FIFO queue."""
+
+    def __init__(self, sim, capacity=1, name=None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "resource"
+        self.users = []
+        self._waiting = []
+
+    @property
+    def queue_length(self):
+        return len(self._waiting)
+
+    @property
+    def in_use(self):
+        return len(self.users)
+
+    def request(self):
+        """Return an event that succeeds when a slot is available.
+
+        The caller must eventually call ``.release()`` on the returned
+        request object (typical pattern: ``req = res.request(); yield req;
+        ...; req.release()``).
+        """
+        request = _RequestEvent(
+            self.sim, self, name=f"{self.name}:request"
+        )
+        self._waiting.append(request)
+        self._grant()
+        return request
+
+    def release(self, request):
+        """Free the slot held by ``request``."""
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self._waiting:
+            self._waiting.remove(request)
+        else:
+            raise ValueError("release() of a request this resource never granted")
+        self._grant()
+
+    def _pop_next(self):
+        return self._waiting.pop(0)
+
+    def _grant(self):
+        while self._waiting and len(self.users) < self.capacity:
+            request = self._pop_next()
+            request.granted = True
+            self.users.append(request)
+            request.succeed(self)
+
+
+class PriorityResource(Resource):
+    """Resource whose queue is ordered by ``priority`` (lower first)."""
+
+    def __init__(self, sim, capacity=1, name=None):
+        super().__init__(sim, capacity=capacity, name=name)
+        self._counter = itertools.count()
+        self._heap = []
+
+    def request(self, priority=0):
+        request = _RequestEvent(self.sim, self, name=f"{self.name}:request")
+        heapq.heappush(self._heap, (priority, next(self._counter), request))
+        self._waiting.append(request)
+        self._grant()
+        return request
+
+    def _pop_next(self):
+        while self._heap:
+            _prio, _seq, request = heapq.heappop(self._heap)
+            if request in self._waiting:
+                self._waiting.remove(request)
+                return request
+        return self._waiting.pop(0)
+
+
+class Store:
+    """An unbounded FIFO buffer of items (used for frame queues)."""
+
+    def __init__(self, sim, name=None, capacity=None):
+        self.sim = sim
+        self.name = name or "store"
+        self.capacity = capacity
+        self.items = []
+        self._getters = []
+
+    def put(self, item):
+        """Add an item; drops the oldest when capacity is exceeded.
+
+        Dropping the oldest frame mirrors camera HALs, whose buffer queues
+        recycle stale frames when the consumer falls behind.
+        """
+        self.items.append(item)
+        dropped = 0
+        if self.capacity is not None and len(self.items) > self.capacity:
+            self.items.pop(0)
+            dropped = 1
+        self._dispatch()
+        return dropped
+
+    def get(self):
+        """Return an event yielding the next item (FIFO)."""
+        event = Event(self.sim, name=f"{self.name}:get")
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self):
+        while self.items and self._getters:
+            event = self._getters.pop(0)
+            event.succeed(self.items.pop(0))

@@ -1,0 +1,120 @@
+"""Execution tracing: spans, counters, and utilization queries.
+
+The Snapdragon Profiler screenshots in the paper's Fig. 6 show per-core
+utilization, cDSP activity, and context switches over time. The
+:class:`TraceRecorder` collects the equivalent raw data from the simulator
+so that :mod:`repro.experiments.fig6` can regenerate that profile.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """A half-open interval ``[start, end)`` of activity on a track."""
+
+    track: str
+    label: str
+    start: float
+    end: float = float("nan")
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+    @property
+    def closed(self):
+        return self.end == self.end  # NaN check without importing math
+
+
+class TraceRecorder:
+    """Collects spans and counter events during a simulation run.
+
+    Tracks are free-form strings (``"cpu4"``, ``"cdsp"``, ``"axi"``).
+    Counters record instantaneous samples ``(time, value)`` per name.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.spans = []
+        self.counters = {}
+        self.marks = []
+        self._open = {}
+
+    # -- spans ----------------------------------------------------------
+
+    def begin(self, track, label, **meta):
+        """Open a span on ``track``; returns a handle for :meth:`end`."""
+        span = Span(track=track, label=label, start=self.sim.now, meta=meta)
+        self.spans.append(span)
+        self._open.setdefault(track, []).append(span)
+        return span
+
+    def end(self, span):
+        """Close a span opened with :meth:`begin`."""
+        span.end = self.sim.now
+        stack = self._open.get(span.track, [])
+        if span in stack:
+            stack.remove(span)
+        return span
+
+    def record(self, track, label, start, end, **meta):
+        """Record an already-closed span."""
+        span = Span(track=track, label=label, start=start, end=end, meta=meta)
+        self.spans.append(span)
+        return span
+
+    # -- counters and marks ----------------------------------------------
+
+    def count(self, name, value=1):
+        """Record a counter sample at the current time."""
+        self.counters.setdefault(name, []).append((self.sim.now, value))
+
+    def mark(self, label, **meta):
+        """Record an instantaneous point event."""
+        self.marks.append((self.sim.now, label, meta))
+
+    # -- queries ----------------------------------------------------------
+
+    def spans_on(self, track):
+        return [span for span in self.spans if span.track == track]
+
+    def utilization(self, track, start=None, end=None):
+        """Fraction of ``[start, end)`` covered by closed spans on a track.
+
+        Overlapping spans are merged so utilization never exceeds 1.0.
+        """
+        lo = 0.0 if start is None else start
+        hi = self.sim.now if end is None else end
+        if hi <= lo:
+            return 0.0
+        intervals = sorted(
+            (max(span.start, lo), min(span.end, hi))
+            for span in self.spans_on(track)
+            if span.closed and span.end > lo and span.start < hi
+        )
+        busy = 0.0
+        cursor = lo
+        for span_start, span_end in intervals:
+            if span_end <= cursor:
+                continue
+            busy += span_end - max(span_start, cursor)
+            cursor = max(cursor, span_end)
+        return busy / (hi - lo)
+
+    def counter_total(self, name):
+        """Sum of all samples for a counter (e.g. total context switches)."""
+        return sum(value for _time, value in self.counters.get(name, []))
+
+    def timeline(self, track, bucket_us, start=0.0, end=None):
+        """Per-bucket utilization list — the raw series behind Fig. 6 rows."""
+        hi = self.sim.now if end is None else end
+        buckets = []
+        cursor = start
+        while cursor < hi:
+            buckets.append(
+                self.utilization(track, cursor, min(cursor + bucket_us, hi))
+            )
+            cursor += bucket_us
+        return buckets

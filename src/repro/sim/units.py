@@ -1,0 +1,35 @@
+"""Time-unit helpers.
+
+The simulator's clock counts **microseconds**. The paper reports latencies
+in milliseconds; these helpers keep conversions explicit and greppable
+instead of scattering ``* 1000`` literals through the code.
+"""
+
+US = 1.0
+MS = 1_000.0
+SECOND = 1_000_000.0
+
+
+def ms(value):
+    """Convert milliseconds to simulator microseconds."""
+    return value * MS
+
+
+def us(value):
+    """Identity helper so call sites can be explicit about units."""
+    return value * US
+
+
+def seconds(value):
+    """Convert seconds to simulator microseconds."""
+    return value * SECOND
+
+
+def to_ms(value_us):
+    """Convert simulator microseconds to milliseconds for reporting."""
+    return value_us / MS
+
+
+def to_seconds(value_us):
+    """Convert simulator microseconds to seconds for reporting."""
+    return value_us / SECOND

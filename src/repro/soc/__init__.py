@@ -1,0 +1,36 @@
+"""Simulated mobile SoC hardware.
+
+Models the hardware inventory of the paper's Table II platforms: Qualcomm
+Snapdragon 835/845/855/865 SoCs with big.LITTLE CPU clusters, an
+Adreno-class GPU, and a Hexagon-class DSP ("NPU"), connected by an AXI
+fabric and DRAM, with DVFS and a thermal throttling model.
+
+Throughput constants are *calibrated*, not measured: they are tuned so
+that the qualitative shapes of the paper's figures reproduce (see
+``DESIGN.md`` § Calibration anchors). Absolute latencies are plausible for
+the 2020-era devices but are not claimed to match the authors' testbed.
+"""
+
+from repro.soc.catalog import SOC_SPECS, make_soc, soc_spec
+from repro.soc.chip import Soc
+from repro.soc.cpu import CpuCluster, CpuCore
+from repro.soc.dsp import Dsp
+from repro.soc.frequency import DvfsGovernor, OppTable
+from repro.soc.gpu import Gpu
+from repro.soc.memory import MemorySystem
+from repro.soc.thermal import ThermalModel
+
+__all__ = [
+    "SOC_SPECS",
+    "make_soc",
+    "soc_spec",
+    "Soc",
+    "CpuCluster",
+    "CpuCore",
+    "Dsp",
+    "DvfsGovernor",
+    "OppTable",
+    "Gpu",
+    "MemorySystem",
+    "ThermalModel",
+]

@@ -1,0 +1,159 @@
+"""The platform catalog — the paper's Table II.
+
+| System              | SoC            | Accelerators                        |
+|---------------------|----------------|-------------------------------------|
+| Open-Q 835 uSOM     | Snapdragon 835 | Adreno 540 GPU, Hexagon 682 DSP     |
+| Google Pixel 3      | Snapdragon 845 | Adreno 630 GPU, Hexagon 685 DSP     |
+| Snapdragon 855 HDK  | Snapdragon 855 | Adreno 640 GPU, Hexagon 690 DSP     |
+| Snapdragon 865 HDK  | Snapdragon 865 | Adreno 650 GPU, Hexagon 698 DSP     |
+
+The paper presents results on the Pixel 3 (SD845) and reports the trends
+hold across the other chipsets; ``sd845`` is likewise this library's
+default platform.
+"""
+
+from dataclasses import dataclass
+
+from repro.soc import params
+from repro.soc.chip import Soc
+from repro.soc.cpu import CpuCluster
+from repro.soc.dsp import Dsp
+from repro.soc.frequency import OppTable
+from repro.soc.gpu import Gpu
+from repro.soc.memory import MemorySystem
+from repro.soc.thermal import ThermalModel
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    name: str
+    core_count: int
+    perf_index: float
+    opp_khz: tuple
+
+
+@dataclass(frozen=True)
+class SocSpec:
+    """Static description of one Table-II platform."""
+
+    key: str
+    system: str
+    soc_name: str
+    gpu_name: str
+    dsp_name: str
+    clusters: tuple
+    cpu_scale: float
+    gpu_scale: float
+    dsp_scale: float
+    dram_gbps: float = params.DRAM_BANDWIDTH_GBPS
+    #: NNAPI feature level the platform's shipped drivers implement.
+    nnapi_feature_level: float = 1.1
+
+    @property
+    def core_count(self):
+        return sum(cluster.core_count for cluster in self.clusters)
+
+
+def _little(count, perf, top_khz):
+    steps = tuple(int(top_khz * f) for f in (0.35, 0.55, 0.75, 0.9, 1.0))
+    return ClusterSpec("little", count, perf, steps)
+
+
+def _big(count, perf, top_khz):
+    steps = tuple(int(top_khz * f) for f in (0.3, 0.5, 0.65, 0.8, 0.92, 1.0))
+    return ClusterSpec("big", count, perf, steps)
+
+
+SOC_SPECS = {
+    "sd835": SocSpec(
+        key="sd835",
+        system="Open-Q 835 uSOM",
+        soc_name="Snapdragon 835",
+        gpu_name="Adreno 540",
+        dsp_name="Hexagon 682",
+        clusters=(_little(4, 0.30, 1_900_000), _big(4, 0.80, 2_450_000)),
+        cpu_scale=params.CPU_GENERATION_SCALE["sd835"],
+        gpu_scale=params.GPU_GENERATION_SCALE["sd835"],
+        dsp_scale=params.DSP_GENERATION_SCALE["sd835"],
+        dram_gbps=10.0,
+    ),
+    "sd845": SocSpec(
+        key="sd845",
+        system="Google Pixel 3",
+        soc_name="Snapdragon 845",
+        gpu_name="Adreno 630",
+        dsp_name="Hexagon 685",
+        clusters=(_little(4, 0.35, 1_766_000), _big(4, 1.00, 2_803_000)),
+        cpu_scale=params.CPU_GENERATION_SCALE["sd845"],
+        gpu_scale=params.GPU_GENERATION_SCALE["sd845"],
+        dsp_scale=params.DSP_GENERATION_SCALE["sd845"],
+        dram_gbps=12.0,
+    ),
+    "sd855": SocSpec(
+        key="sd855",
+        system="Snapdragon 855 HDK",
+        soc_name="Snapdragon 855",
+        gpu_name="Adreno 640",
+        dsp_name="Hexagon 690",
+        clusters=(_little(4, 0.40, 1_785_000), _big(4, 1.25, 2_840_000)),
+        cpu_scale=params.CPU_GENERATION_SCALE["sd855"],
+        gpu_scale=params.GPU_GENERATION_SCALE["sd855"],
+        dsp_scale=params.DSP_GENERATION_SCALE["sd855"],
+        nnapi_feature_level=1.2,
+        dram_gbps=14.0,
+    ),
+    "sd865": SocSpec(
+        key="sd865",
+        system="Snapdragon 865 HDK",
+        soc_name="Snapdragon 865",
+        gpu_name="Adreno 650",
+        dsp_name="Hexagon 698",
+        clusters=(_little(4, 0.45, 1_804_000), _big(4, 1.45, 2_840_000)),
+        cpu_scale=params.CPU_GENERATION_SCALE["sd865"],
+        gpu_scale=params.GPU_GENERATION_SCALE["sd865"],
+        dsp_scale=params.DSP_GENERATION_SCALE["sd865"],
+        nnapi_feature_level=1.3,
+        dram_gbps=16.0,
+    ),
+}
+
+
+def soc_spec(key):
+    """Look up a :class:`SocSpec` by key (``sd835`` ... ``sd865``)."""
+    try:
+        return SOC_SPECS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown SoC {key!r}; available: {sorted(SOC_SPECS)}"
+        ) from None
+
+
+def make_soc(sim, key="sd845", governor_mode="schedutil", dsp_coupling="loose"):
+    """Instantiate a simulated :class:`Soc` for platform ``key``."""
+    spec = soc_spec(key)
+    clusters = []
+    next_core = 0
+    for cluster_spec in spec.clusters:
+        cluster = CpuCluster(
+            name=cluster_spec.name,
+            perf_index=cluster_spec.perf_index * spec.cpu_scale,
+            opp=OppTable(cluster_spec.opp_khz),
+            core_count=cluster_spec.core_count,
+            first_core_id=next_core,
+            governor_mode=governor_mode,
+        )
+        next_core += cluster_spec.core_count
+        clusters.append(cluster)
+    gpu = Gpu(sim, spec.gpu_name, scale=spec.gpu_scale)
+    dsp = Dsp(sim, spec.dsp_name, scale=spec.dsp_scale, coupling=dsp_coupling)
+    memory = MemorySystem(sim, dram_gbps=spec.dram_gbps)
+    thermal = ThermalModel(sim, clusters)
+    return Soc(
+        sim=sim,
+        spec=spec,
+        clusters=clusters,
+        gpu=gpu,
+        dsp=dsp,
+        memory=memory,
+        thermal=thermal,
+    )

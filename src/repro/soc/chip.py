@@ -1,0 +1,65 @@
+"""The assembled SoC."""
+
+
+class Soc:
+    """A simulated system-on-chip: CPU clusters + GPU + DSP + memory.
+
+    Built by :func:`repro.soc.catalog.make_soc`; holds no behaviour of its
+    own beyond convenient lookups. Scheduling logic lives in
+    :mod:`repro.android`, delegation logic in :mod:`repro.frameworks`.
+    """
+
+    def __init__(self, sim, spec, clusters, gpu, dsp, memory, thermal,
+                 energy=None):
+        from repro.soc.power import EnergyMeter
+
+        self.sim = sim
+        self.spec = spec
+        self.clusters = clusters
+        self.gpu = gpu
+        self.dsp = dsp
+        self.memory = memory
+        self.thermal = thermal
+        self.energy = energy if energy is not None else EnergyMeter()
+        memory.energy = self.energy
+
+    @property
+    def cores(self):
+        """All cores, little cluster first (Linux cpu numbering style)."""
+        return [core for cluster in self.clusters for core in cluster.cores]
+
+    @property
+    def big_cluster(self):
+        return max(self.clusters, key=lambda c: c.perf_index)
+
+    @property
+    def little_cluster(self):
+        return min(self.clusters, key=lambda c: c.perf_index)
+
+    @property
+    def big_cores(self):
+        return self.big_cluster.cores
+
+    @property
+    def little_cores(self):
+        return self.little_cluster.cores
+
+    def core(self, core_id):
+        for candidate in self.cores:
+            if candidate.core_id == core_id:
+                return candidate
+        raise KeyError(f"no core with id {core_id}")
+
+    def accelerator(self, kind):
+        """Look up an accelerator by kind: ``gpu`` or ``dsp``/``npu``."""
+        if kind == "gpu":
+            return self.gpu
+        if kind in ("dsp", "npu", "hexagon"):
+            return self.dsp
+        raise KeyError(f"unknown accelerator kind {kind!r}")
+
+    def __repr__(self):
+        return (
+            f"<Soc {self.spec.soc_name}: {len(self.cores)} cores, "
+            f"{self.gpu.name}, {self.dsp.name}>"
+        )

@@ -1,0 +1,68 @@
+"""Hexagon-class DSP ("NPU") model.
+
+The DSP is *loosely coupled*: it has its own memory subsystem (VTCM) and
+is reached from the CPU over FastRPC through the kernel driver
+(:mod:`repro.android.fastrpc`). It executes quantized graphs on HVX
+vector units at high throughput but has only scalar floating-point
+support, which is why frameworks refuse (or should refuse) to delegate
+fp32 graphs to it.
+
+The device is a capacity-1 resource: one resident model executes at a
+time, so concurrent clients queue — the mechanism behind the linear
+latency growth in the paper's Fig. 9.
+"""
+
+from repro.sim.resources import Resource
+from repro.soc import params
+
+
+_RATE_BY_KIND = {
+    "conv": params.DSP_CONV_GOPS,
+    "depthwise": params.DSP_DEPTHWISE_GOPS,
+    "fc": params.DSP_FC_GOPS,
+    "elementwise": params.DSP_ELEMENTWISE_GOPS,
+}
+
+
+class Dsp:
+    """A Hexagon-class DSP with HVX vector units."""
+
+    #: Integration style (see paper §II-D). Loosely coupled devices pay
+    #: cache flushes and kernel round trips per invocation; a tightly
+    #: coupled device would share the CPU cache hierarchy.
+    coupling = "loose"
+
+    def __init__(self, sim, name, scale=1.0, coupling="loose"):
+        self.sim = sim
+        self.name = name
+        self.scale = scale
+        self.coupling = coupling
+        self.resource = Resource(sim, capacity=1, name=f"dsp:{name}")
+        #: Process handles mapped via FastRPC session setup.
+        self.mapped_processes = set()
+
+    def supports_dtype(self, dtype):
+        """HVX executes int8 graphs; fp graphs only via scalar fallback."""
+        return dtype == "int8"
+
+    def op_time_us(self, op, dtype):
+        if dtype == "int8":
+            rate_gops = _RATE_BY_KIND[op.compute_class] * self.scale
+            compute_us = op.flops / (rate_gops * 1e3)
+        else:
+            # Scalar floating point crawl; frameworks should never pick this.
+            compute_us = op.flops / (params.DSP_SCALAR_FP_GFLOPS * 1e3)
+        return compute_us + params.DSP_OP_DISPATCH_US
+
+    def graph_time_us(self, ops, dtype):
+        return sum(self.op_time_us(op, dtype) for op in ops)
+
+    def map_process(self, process_id):
+        """Record a FastRPC process mapping; True when newly created."""
+        if process_id in self.mapped_processes:
+            return False
+        self.mapped_processes.add(process_id)
+        return True
+
+    def unmap_process(self, process_id):
+        self.mapped_processes.discard(process_id)

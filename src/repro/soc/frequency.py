@@ -1,0 +1,111 @@
+"""Operating performance points and DVFS governors.
+
+Mobile CPU clusters change frequency under a kernel governor. The
+schedutil-style governor here tracks recent cluster utilization and picks
+the lowest OPP whose capacity covers ``util * headroom``. Frequency ramping
+is one of the run-to-run variability sources the paper highlights: an app
+that idles between camera frames keeps dropping to low OPPs and pays a
+ramp-up penalty at each burst, while a tight benchmark loop stays pinned
+at the top OPP.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class OppTable:
+    """An ordered table of operating points in kHz."""
+
+    frequencies_khz: tuple
+
+    def __post_init__(self):
+        if not self.frequencies_khz:
+            raise ValueError("OPP table must not be empty")
+        if list(self.frequencies_khz) != sorted(self.frequencies_khz):
+            raise ValueError("OPP table must be sorted ascending")
+
+    @property
+    def min_khz(self):
+        return self.frequencies_khz[0]
+
+    @property
+    def max_khz(self):
+        return self.frequencies_khz[-1]
+
+    def for_capacity(self, fraction):
+        """Lowest OPP providing at least ``fraction`` of max capacity."""
+        target = max(0.0, min(1.0, fraction)) * self.max_khz
+        for freq in self.frequencies_khz:
+            if freq >= target:
+                return freq
+        return self.max_khz
+
+    def ceiling_for(self, fraction):
+        """Highest OPP not exceeding ``fraction`` of max capacity."""
+        limit = max(0.0, min(1.0, fraction)) * self.max_khz
+        candidates = [f for f in self.frequencies_khz if f <= limit]
+        return candidates[-1] if candidates else self.min_khz
+
+    def step_towards(self, current, target):
+        """Move one OPP step from ``current`` towards ``target``.
+
+        Real governors slew over several scheduler ticks rather than
+        jumping straight to the target frequency.
+        """
+        levels = self.frequencies_khz
+        if current not in levels:
+            # Snap to the nearest level first.
+            current = min(levels, key=lambda f: abs(f - current))
+        index = levels.index(current)
+        if target > current and index + 1 < len(levels):
+            return levels[index + 1]
+        if target < current and index > 0:
+            return levels[index - 1]
+        return current
+
+
+@dataclass
+class DvfsGovernor:
+    """schedutil-style governor state for one cluster.
+
+    ``update()`` is called periodically with the cluster's utilization over
+    the last window; it returns the new frequency. ``performance`` mode
+    pins the top OPP (the paper's benchmarks effectively run this way
+    because their tight loops saturate the cluster).
+    """
+
+    opp: OppTable
+    mode: str = "schedutil"
+    headroom: float = 1.25
+    #: Frequency ceiling as a fraction of the top OPP. NNAPI's
+    #: SUSTAINED_SPEED preference caps boost to avoid throttle cycling.
+    max_fraction: float = 1.0
+    current_khz: int = field(default=None)
+
+    def __post_init__(self):
+        if self.mode not in ("schedutil", "performance", "powersave"):
+            raise ValueError(f"unknown governor mode: {self.mode}")
+        if self.current_khz is None:
+            self.current_khz = (
+                self.opp.max_khz if self.mode == "performance" else self.opp.min_khz
+            )
+
+    def update(self, utilization):
+        """Advance governor state given window utilization in [0, 1]."""
+        if self.mode == "performance":
+            self.current_khz = self.opp.max_khz
+        elif self.mode == "powersave":
+            self.current_khz = self.opp.min_khz
+        else:
+            target = self.opp.for_capacity(utilization * self.headroom)
+            self.current_khz = self.opp.step_towards(self.current_khz, target)
+        if self.max_fraction < 1.0:
+            self.current_khz = min(
+                self.current_khz, self.opp.ceiling_for(self.max_fraction)
+            )
+        return self.current_khz
+
+    @property
+    def speed_fraction(self):
+        """Current frequency as a fraction of the top OPP."""
+        return self.current_khz / self.opp.max_khz

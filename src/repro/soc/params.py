@@ -1,0 +1,111 @@
+"""Calibrated hardware throughput constants.
+
+All compute costs in the simulation are expressed in **reference
+work-microseconds**: the time the work would take on one Snapdragon 845
+big (Kryo 385 Gold) core running at its maximum frequency. A core's
+actual execution rate is ``perf_index * (freq / max_freq)`` reference
+seconds per second, so little cores and down-clocked cores take
+proportionally longer.
+
+The effective GFLOP/s numbers below are *achieved* throughputs of tuned
+TFLite kernels, far below datasheet peaks — mobile inference kernels are
+memory- and dispatch-bound for many layer shapes. They were chosen to hit
+the paper's calibration anchors (DESIGN.md):
+
+* Inception v3 fp32 (~11.4 GFLOPs) at ~250 ms on a 4-thread CPU implies
+  ~11-12 effective GFLOP/s per big core for dense convolutions.
+* The NNAPI CPU-fallback path runs *reference* (non-NEON-tuned) quantized
+  kernels on a single thread; the paper measures a ~7x slowdown for
+  EfficientNet-Lite0 int8 vs. the regular single-thread CPU path.
+* The Hexagon DSP runs int8 at roughly 10-20x a single CPU core
+  (HVX vector units), but cannot execute fp32 model graphs.
+"""
+
+# -- CPU (per big core at max frequency, reference = SD845 Kryo 385 Gold) --
+
+#: Effective GFLOP/s for dense convolutions (im2col + GEMM kernels).
+CPU_CONV_GFLOPS = 16.0
+#: Depthwise convolutions have low arithmetic intensity; far lower rate.
+CPU_DEPTHWISE_GFLOPS = 2.6
+#: Fully-connected / GEMM layers (BERT matmuls included).
+CPU_FC_GFLOPS = 10.0
+#: Elementwise / pooling / softmax style ops (memory bound).
+CPU_ELEMENTWISE_GFLOPS = 1.8
+
+#: Speedup of tuned int8 kernels over fp32 on CPU (NEON dot products).
+CPU_INT8_SPEEDUP = 1.5
+#: Slowdown of *reference* quantized kernels (the NNAPI CPU fallback path)
+#: relative to tuned fp32 kernels. Reference kernels do per-element
+#: requantization with no vectorization.
+CPU_REFERENCE_INT8_SLOWDOWN = 4.7
+
+#: Fixed scheduling/dispatch overhead per op on the CPU interpreter.
+CPU_OP_DISPATCH_US = 2.0
+
+#: Parallel efficiency when splitting one op across N threads.
+CPU_PARALLEL_EFFICIENCY = {1: 1.0, 2: 0.92, 4: 0.80, 8: 0.60}
+
+# -- GPU (Adreno-class, per-op dispatched via command queue) --------------
+
+GPU_CONV_GFLOPS = 36.0
+GPU_DEPTHWISE_GFLOPS = 9.0
+GPU_FC_GFLOPS = 18.0
+GPU_ELEMENTWISE_GFLOPS = 6.0
+#: fp16 runs ~1.8x fp32 on mobile GPUs; int8 gains little (no DP4A here).
+GPU_FP16_SPEEDUP = 1.8
+GPU_INT8_SPEEDUP = 1.1
+#: Kernel launch + descriptor setup per op.
+GPU_OP_DISPATCH_US = 18.0
+#: One-time GL/CL context + shader compilation at delegate init.
+GPU_DELEGATE_INIT_US = 95_000.0
+
+# -- DSP (Hexagon-class HVX; "NPU" in Qualcomm marketing) -----------------
+
+#: Effective int8 GOP/s for dense convolutions on the HVX vector units.
+DSP_CONV_GOPS = 150.0
+DSP_DEPTHWISE_GOPS = 55.0
+DSP_FC_GOPS = 80.0
+DSP_ELEMENTWISE_GOPS = 20.0
+#: Per-op overhead once a graph is resident on the DSP (VLIW issue, DMA).
+DSP_OP_DISPATCH_US = 4.0
+#: The Hexagon delegate cannot run fp32 graphs; scalar fp fallback rate.
+DSP_SCALAR_FP_GFLOPS = 0.8
+
+# -- Memory system ---------------------------------------------------------
+
+#: Effective DRAM bandwidth seen by a single-threaded memcpy (GB/s).
+DRAM_BANDWIDTH_GBPS = 12.0
+#: Bandwidth of the AXI path between CPU memory and the DSP's VTCM.
+AXI_BANDWIDTH_GBPS = 8.0
+#: Cache-flush rate for making CPU writes visible to the (non-coherent,
+#: loosely coupled) DSP: clean+invalidate by VA over the buffer.
+CACHE_FLUSH_GBPS = 20.0
+#: Fixed cost of a cache maintenance operation (kernel entry included).
+CACHE_FLUSH_BASE_US = 12.0
+
+# -- Per-generation scaling -------------------------------------------------
+
+#: Relative CPU perf of each SoC's big cluster vs the SD845 reference.
+#: (Kryo 280 -> 385 -> 485 -> 585 generational uplifts.)
+CPU_GENERATION_SCALE = {
+    "sd835": 0.80,
+    "sd845": 1.00,
+    "sd855": 1.25,
+    "sd865": 1.45,
+}
+
+#: Relative GPU perf (Adreno 540 -> 630 -> 640 -> 650).
+GPU_GENERATION_SCALE = {
+    "sd835": 0.70,
+    "sd845": 1.00,
+    "sd855": 1.20,
+    "sd865": 1.50,
+}
+
+#: Relative DSP int8 perf (Hexagon 682 -> 685 -> 690 -> 698).
+DSP_GENERATION_SCALE = {
+    "sd835": 0.45,
+    "sd845": 1.00,
+    "sd855": 2.0,
+    "sd865": 3.5,
+}

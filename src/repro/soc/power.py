@@ -1,0 +1,97 @@
+"""Power and energy accounting.
+
+The paper's opening motivation is that "AI processing on general-purpose
+mobile processors is inefficient in terms of energy and power". This
+module lets the reproduction quantify that: every component reports
+power draw, the :class:`EnergyMeter` integrates it, and experiments can
+compare joules-per-inference across CPU/GPU/DSP placements.
+
+CPU dynamic power follows the classic ``P = C * V^2 * f`` with voltage
+roughly proportional to frequency, i.e. ``P ~ (f/fmax)^3 * P_max`` per
+busy core. Accelerators are modelled with flat busy powers — their DVFS
+is much coarser. Numbers are representative of 2018-era 10 nm parts.
+"""
+
+from dataclasses import dataclass, field
+
+#: Dynamic power of one fully-busy core at the top OPP (watts).
+BIG_CORE_BUSY_W = 1.9
+LITTLE_CORE_BUSY_W = 0.35
+#: Leakage + fabric share attributed per idle-but-online core.
+CORE_IDLE_W = 0.015
+#: Accelerator busy powers (watts).
+GPU_BUSY_W = 2.4
+DSP_BUSY_W = 0.75
+#: DRAM energy per byte moved (picojoules) — LPDDR4X ballpark.
+DRAM_PJ_PER_BYTE = 60.0
+
+
+@dataclass
+class EnergyMeter:
+    """Cumulative per-component energy in microjoules.
+
+    Components call the ``add_*`` hooks; analyses snapshot totals around
+    a measured region and difference them.
+    """
+
+    cpu_uj: float = 0.0
+    gpu_uj: float = 0.0
+    dsp_uj: float = 0.0
+    dram_uj: float = 0.0
+    #: Per-thread-label attribution of CPU energy.
+    by_label: dict = field(default_factory=dict)
+
+    @property
+    def total_uj(self):
+        return self.cpu_uj + self.gpu_uj + self.dsp_uj + self.dram_uj
+
+    # Watts * microseconds == microjoules, so the arithmetic is direct.
+
+    def add_cpu_slice(self, core, duration_us, label=None):
+        """Energy for one scheduler slice on ``core`` at its current OPP."""
+        fraction = core.cluster.governor.speed_fraction
+        if core.cluster.name == "little" or core.perf_index < 0.6:
+            busy_w = LITTLE_CORE_BUSY_W
+        else:
+            busy_w = BIG_CORE_BUSY_W
+        power_w = busy_w * fraction ** 3
+        energy = power_w * duration_us
+        self.cpu_uj += energy
+        if label is not None:
+            self.by_label[label] = self.by_label.get(label, 0.0) + energy
+        return energy
+
+    def add_gpu_busy(self, duration_us):
+        energy = GPU_BUSY_W * duration_us
+        self.gpu_uj += energy
+        return energy
+
+    def add_dsp_busy(self, duration_us):
+        energy = DSP_BUSY_W * duration_us
+        self.dsp_uj += energy
+        return energy
+
+    def add_dram_transfer(self, nbytes):
+        energy = nbytes * DRAM_PJ_PER_BYTE / 1e6  # pJ -> uJ
+        self.dram_uj += energy
+        return energy
+
+    def snapshot(self):
+        """Immutable totals for differencing around a measured region."""
+        return (self.cpu_uj, self.gpu_uj, self.dsp_uj, self.dram_uj)
+
+    def since(self, snapshot):
+        """Per-component deltas (uJ) since a :meth:`snapshot`."""
+        cpu, gpu, dsp, dram = snapshot
+        return {
+            "cpu_uj": self.cpu_uj - cpu,
+            "gpu_uj": self.gpu_uj - gpu,
+            "dsp_uj": self.dsp_uj - dsp,
+            "dram_uj": self.dram_uj - dram,
+            "total_uj": self.total_uj - (cpu + gpu + dsp + dram),
+        }
+
+
+def idle_floor_uj(core_count, duration_us):
+    """Baseline leakage for ``core_count`` online cores over a window."""
+    return CORE_IDLE_W * core_count * duration_us

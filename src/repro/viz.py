@@ -1,0 +1,152 @@
+"""Terminal visualization of experiment results.
+
+The paper communicates through figures; this module renders their
+closest pure-text equivalents so `python -m repro experiment fig5
+--chart` (and the examples) can show shapes, not just tables:
+
+* :func:`bar_chart` — horizontal bars (Figs. 3, 5, and friends);
+* :func:`grouped_bars` — stacked per-stage bars (Figs. 4, 9, 10);
+* :func:`histogram` — latency distributions (Fig. 11);
+* :func:`timeline_strip` — per-track utilization heat strips (Fig. 6);
+* :func:`line_series` — amortization curves (Fig. 8).
+
+Everything returns a string; nothing prints or depends on a display.
+"""
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+_SHADES = " ░▒▓█"
+
+
+def _bar(value, scale, width):
+    """A left-aligned bar of ``value`` where ``scale`` fills ``width``."""
+    if scale <= 0:
+        return ""
+    cells = value / scale * width
+    full = int(cells)
+    remainder = cells - full
+    partial = _BLOCKS[int(remainder * (len(_BLOCKS) - 1))] if full < width else ""
+    return "█" * min(full, width) + partial
+
+
+def bar_chart(items, width=40, unit="ms", title=None):
+    """Horizontal bar chart from ``[(label, value), ...]``."""
+    items = list(items)
+    if not items:
+        return "(no data)"
+    label_width = max(len(str(label)) for label, _value in items)
+    top = max(value for _label, value in items) or 1.0
+    lines = [title] if title else []
+    for label, value in items:
+        bar = _bar(value, top, width)
+        lines.append(
+            f"{str(label).ljust(label_width)} |{bar.ljust(width)}| "
+            f"{value:,.2f} {unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bars(groups, stages, width=40, unit="ms", title=None):
+    """Stacked per-stage bars.
+
+    ``groups`` is ``[(label, [v1, v2, ...]), ...]`` with one value per
+    entry in ``stages``. Each stage gets a distinct fill character so a
+    breakdown reads like the paper's stacked figures.
+    """
+    fills = "█▓▒░▞▚"
+    groups = list(groups)
+    if not groups:
+        return "(no data)"
+    label_width = max(len(str(label)) for label, _values in groups)
+    top = max(sum(values) for _label, values in groups) or 1.0
+    lines = [title] if title else []
+    legend = "  ".join(
+        f"{fills[index % len(fills)]} {stage}"
+        for index, stage in enumerate(stages)
+    )
+    lines.append(legend)
+    for label, values in groups:
+        bar = ""
+        for index, value in enumerate(values):
+            cells = int(round(value / top * width))
+            bar += fills[index % len(fills)] * cells
+        total = sum(values)
+        lines.append(
+            f"{str(label).ljust(label_width)} |{bar[:width].ljust(width)}| "
+            f"{total:,.2f} {unit}"
+        )
+    return "\n".join(lines)
+
+
+def histogram(values, bins=12, width=40, unit="ms", title=None):
+    """Vertical-count histogram of a latency sample."""
+    values = sorted(values)
+    if not values:
+        return "(no data)"
+    low, high = values[0], values[-1]
+    if high == low:
+        return f"all {len(values)} samples at {low:,.2f} {unit}"
+    span = (high - low) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / span))
+        counts[index] += 1
+    top = max(counts)
+    lines = [title] if title else []
+    for index, count in enumerate(counts):
+        lo = low + index * span
+        bar = _bar(count, top, width)
+        lines.append(f"{lo:10,.2f} {unit} |{bar.ljust(width)}| {count}")
+    return "\n".join(lines)
+
+
+def timeline_strip(utilization, label="", width=None):
+    """One trace track as a shade strip (0 -> space, 1 -> full block)."""
+    if width is not None and len(utilization) > width:
+        # Downsample by averaging consecutive buckets.
+        factor = len(utilization) / width
+        utilization = [
+            sum(utilization[int(i * factor): max(int(i * factor) + 1,
+                                                 int((i + 1) * factor))])
+            / max(1, len(utilization[int(i * factor): max(int(i * factor) + 1,
+                                                          int((i + 1) * factor))]))
+            for i in range(width)
+        ]
+    cells = "".join(
+        _SHADES[min(len(_SHADES) - 1, int(max(0.0, min(1.0, value))
+                                          * (len(_SHADES) - 1) + 0.5))]
+        for value in utilization
+    )
+    return f"{label:>6s} |{cells}|"
+
+
+def profile_strips(timelines, order=None, width=60):
+    """Fig.-6-style multi-track profile from ``{track: [util, ...]}``."""
+    tracks = order if order is not None else sorted(timelines)
+    return "\n".join(
+        timeline_strip(timelines[track], label=track, width=width)
+        for track in tracks
+        if track in timelines
+    )
+
+
+def line_series(xs, ys, width=50, height=12, title=None,
+                x_label="x", y_label="y"):
+    """A dot plot of ``ys`` against ``xs`` on a character grid."""
+    if not xs or len(xs) != len(ys):
+        return "(no data)"
+    lo_x, hi_x = min(xs), max(xs)
+    lo_y, hi_y = min(ys), max(ys)
+    span_x = (hi_x - lo_x) or 1.0
+    span_y = (hi_y - lo_y) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - lo_x) / span_x * (width - 1))
+        row = height - 1 - int((y - lo_y) / span_y * (height - 1))
+        grid[row][col] = "o"
+    lines = [title] if title else []
+    for index, row in enumerate(grid):
+        tick = hi_y - index * span_y / (height - 1)
+        lines.append(f"{tick:10,.2f} |{''.join(row)}|")
+    lines.append(" " * 11 + f"{lo_x:<{width // 2},.0f}{hi_x:>{width // 2},.0f}")
+    lines.append(" " * 11 + f"({x_label} -> ; {y_label} ^)")
+    return "\n".join(lines)

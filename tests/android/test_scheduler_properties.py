@@ -1,0 +1,115 @@
+"""Property-based scheduler invariants (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.android import Kernel
+from repro.android.thread import Sleep, Work
+from repro.sim import Simulator
+from repro.soc import make_soc
+
+
+def run_workload(seed, works, nices, use_little):
+    sim = Simulator(seed=seed, trace=True)
+    soc = make_soc(sim, "sd845", governor_mode="performance")
+    kernel = Kernel(sim, soc, enable_dvfs=False)
+    affinity = None
+    if not use_little:
+        affinity = {core.core_id for core in soc.big_cores}
+    threads = []
+    for index, (work, nice) in enumerate(zip(works, nices)):
+        def body(amount=work):
+            yield Work(amount)
+            yield Sleep(100)
+            yield Work(amount / 2)
+
+        threads.append(
+            kernel.spawn(body(), name=f"t{index}", nice=nice, affinity=affinity)
+        )
+    sim.run(until=sim.all_of([thread.done for thread in threads]))
+    return sim, soc, kernel, threads
+
+
+workloads = st.lists(
+    st.floats(100.0, 20_000.0), min_size=1, max_size=8
+)
+nice_levels = st.lists(st.integers(-5, 10), min_size=8, max_size=8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100), works=workloads, nices=nice_levels,
+       use_little=st.booleans())
+def test_all_threads_complete(seed, works, nices, use_little):
+    """Every thread finishes: no starvation, no lost wakeups."""
+    _sim, _soc, _kernel, threads = run_workload(seed, works, nices, use_little)
+    assert all(thread.done.triggered for thread in threads)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100), works=workloads, nices=nice_levels)
+def test_cpu_time_at_least_work_issued(seed, works, nices):
+    """Wall CPU time >= reference work (cores never run faster than 1x)."""
+    _sim, _soc, _kernel, threads = run_workload(seed, works, nices, False)
+    for thread, work in zip(threads, works):
+        issued = work * 1.5  # body runs work + work/2
+        assert thread.stats.cpu_time_us >= issued * 0.999
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100), works=workloads, nices=nice_levels)
+def test_no_core_runs_two_threads_at_once(seed, works, nices):
+    """Trace spans on each core track never overlap."""
+    sim, soc, _kernel, _threads = run_workload(seed, works, nices, False)
+    for core in soc.cores:
+        spans = sorted(
+            (span.start, span.end)
+            for span in sim.trace.spans_on(core.name)
+            if span.closed
+        )
+        for (start_a, end_a), (start_b, _end_b) in zip(spans, spans[1:]):
+            assert end_a <= start_b + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100), works=workloads, nices=nice_levels)
+def test_busy_accounting_consistent(seed, works, nices):
+    """Sum of per-core busy time equals sum of per-thread CPU time."""
+    _sim, soc, kernel, threads = run_workload(seed, works, nices, False)
+    core_busy = sum(core.busy_us for core in soc.cores)
+    thread_cpu = sum(thread.stats.cpu_time_us for thread in kernel.threads)
+    assert core_busy == pytest.approx(thread_cpu, rel=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 50), works=workloads)
+def test_affinity_respected(seed, works):
+    """Threads never run on cores outside their affinity mask."""
+    sim = Simulator(seed=seed)
+    soc = make_soc(sim, "sd845", governor_mode="performance")
+    kernel = Kernel(sim, soc, enable_dvfs=False)
+    mask = {soc.big_cores[0].core_id, soc.little_cores[0].core_id}
+    threads = [
+        kernel.spawn(_work_body(work), name=f"t{index}", affinity=mask)
+        for index, work in enumerate(works)
+    ]
+    sim.run(until=sim.all_of([thread.done for thread in threads]))
+    for thread in threads:
+        assert thread.stats.cores_used <= mask
+
+
+def _work_body(amount):
+    yield Work(amount)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 50), work=st.floats(5_000, 50_000))
+def test_energy_scales_with_work(seed, work):
+    """CPU energy grows with work and is positive whenever work ran."""
+    sim = Simulator(seed=seed)
+    soc = make_soc(sim, "sd845", governor_mode="performance")
+    kernel = Kernel(sim, soc, enable_dvfs=False)
+    thread = kernel.spawn_on_big(_work_body(work), name="w")
+    sim.run(until=thread.done)
+    assert soc.energy.cpu_uj > 0
+    assert soc.energy.cpu_uj == pytest.approx(1.9 * work, rel=0.05)

@@ -1,0 +1,66 @@
+"""MLPerf-style loadgen tests."""
+
+import pytest
+
+from repro.android import Kernel
+from repro.apps.loadgen import OFFLINE, SINGLE_STREAM, MlperfLoadgen
+from repro.sim import Simulator
+from repro.soc import make_soc
+
+
+def make_loadgen(seed=0, **kwargs):
+    sim = Simulator(seed=seed)
+    soc = make_soc(sim, "sd845", governor_mode="performance")
+    kernel = Kernel(sim, soc, enable_dvfs=False)
+    defaults = dict(model_key="mobilenet_v1", dtype="int8", target="cpu")
+    defaults.update(kwargs)
+    return MlperfLoadgen(kernel, **defaults)
+
+
+def test_single_stream_reports_p90():
+    result = make_loadgen().run(SINGLE_STREAM, queries=20)
+    assert result.query_count == 20
+    assert result.p90_latency_ms >= result.mean_latency_ms * 0.9
+    assert result.scenario == SINGLE_STREAM
+    assert result.throughput_qps > 0
+
+
+def test_offline_throughput_consistent_with_latency():
+    result = make_loadgen().run(OFFLINE, queries=20)
+    implied_qps = 1000.0 / result.mean_latency_ms
+    assert result.throughput_qps == pytest.approx(implied_qps, rel=0.2)
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        make_loadgen().run("server", queries=5)
+
+
+def test_dsp_target_beats_cpu_on_p90():
+    cpu = make_loadgen(target="cpu").run(SINGLE_STREAM, queries=15)
+    dsp = make_loadgen(target="hexagon").run(SINGLE_STREAM, queries=15)
+    assert dsp.p90_latency_ms < cpu.p90_latency_ms
+
+
+def test_mlperf_gap_experiment():
+    from repro.experiments import run_experiment
+
+    result = run_experiment("mlperf_gap", queries=15, runs=8)
+    rows = {row[0]: row[1] for row in result.rows}
+    assert rows["app/benchmark latency gap"] > 1.5
+    assert 0.3 < rows["AI tax hidden by the benchmark"] < 0.95
+    assert rows["app inference-only ms"] == pytest.approx(
+        rows["single-stream mean latency ms"], rel=0.5
+    )
+
+
+def test_driver_versions_fix_the_fig5_bug():
+    from repro.experiments import run_experiment
+
+    result = run_experiment("driver_versions", invokes=5)
+    rows = result.row_map("feature level")
+    assert rows[1.1][2] is True  # reference fallback on 1.1
+    assert rows[1.2][2] is False
+    assert rows[1.3][2] is False
+    assert rows[1.2][1] < rows[1.1][1] / 10  # bug fixed: >10x faster
+    assert rows[1.2][3] == 1.0

@@ -1,0 +1,178 @@
+"""Experiment harness tests: every table/figure reproduces its shape.
+
+These are the repository's acceptance tests: each asserts the
+*qualitative* claim the paper makes for that table or figure.
+"""
+
+import pytest
+
+from repro.experiments import REGISTRY, run_experiment
+
+SMALL = {"runs": 6}
+
+
+def test_registry_covers_every_table_and_figure():
+    expected = {
+        "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        "fig8", "fig9", "fig10", "fig11",
+        "ablation_snpe", "ablation_probe", "ablation_coupling",
+        "ablation_stdlib",
+    }
+    assert expected <= set(REGISTRY)
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("fig99")
+
+
+def test_table1_lists_all_models():
+    result = run_experiment("table1")
+    assert len(result.rows) == 11
+    by_model = result.row_map("Model")
+    alexnet = by_model["AlexNet"]
+    assert alexnet[5] is False  # NNAPI-fp32 = N
+    assert alexnet[7] is True  # CPU-fp32 = Y
+    with pytest.raises(KeyError):
+        result.column("Latency")
+
+
+def test_table2_lists_all_platforms():
+    result = run_experiment("table2")
+    assert len(result.rows) == 4
+    assert any("Pixel 3" in row[0] for row in result.rows)
+    assert "render" in dir(result)
+    assert "[table2]" in result.render()
+
+
+def test_fig3_app_slower_than_benchmarks():
+    result = run_experiment("fig3", runs=6)
+    for row in result.rows:
+        _model, _dtype, cli_ms, bench_app_ms, app_ms, ratio = row
+        assert app_ms > cli_ms
+        assert bench_app_ms >= cli_ms * 0.98
+        assert ratio > 1.0
+
+
+def test_fig4_quantized_mobilenet_capture_pre_dominates():
+    result = run_experiment(
+        "fig4", runs=6, models=(("mobilenet_v1", "int8"), ("inception_v3", "fp32")),
+    )
+    rows = {(row[0], row[1], row[2]): row for row in result.rows}
+    mobile_app = rows[("mobilenet_v1", "int8", "app")]
+    assert mobile_app[6] > 1.4  # (capture+pre)/inference well above 1
+    inception_app = rows[("inception_v3", "fp32", "app")]
+    assert inception_app[6] < 0.4  # inference dominates
+    mobile_bench = rows[("mobilenet_v1", "int8", "benchmark")]
+    assert mobile_bench[3] > 0  # random generation counted as capture
+
+
+def test_fig5_nnapi_degradation():
+    result = run_experiment("fig5", runs=6)
+    latency = dict(zip(result.column("Target"), result.column("inference ms")))
+    assert latency["hexagon"] < latency["cpu"] < latency["cpu1"]
+    ratio = latency["nnapi"] / latency["cpu1"]
+    assert 4.0 < ratio < 11.0  # paper: ~7x
+
+
+def test_fig6_profiles_match_annotations():
+    result = run_experiment("fig6", runs=5)
+    rows = result.row_map("Target")
+    cpu = rows["cpu"]
+    hexagon = rows["hexagon"]
+    nnapi = rows["nnapi"]
+    # (1) CPU run: big cores heavily utilized, no DSP.
+    assert cpu[1] > 0.5 and cpu[3] == 0.0
+    # (2) Hexagon: DSP busy, AXI traffic flowing, CPU mostly idle.
+    assert hexagon[3] > 0.2 and hexagon[7] > 0
+    assert hexagon[1] < cpu[1]
+    # (3) NNAPI: an initial cDSP probe only, then CPU execution.
+    assert nnapi[4] >= 1
+    assert nnapi[3] < 0.05
+    # single-threaded: busiest core saturated, cluster average low.
+    assert nnapi[2] > 0.8 and nnapi[1] < 0.6
+    # (4) Frequent migrations vs the pinned CPU run.
+    assert nnapi[5] > cpu[5]
+    # Wall clock: nnapi run is dramatically longer.
+    assert nnapi[8] > 3 * cpu[8]
+
+
+def test_fig7_decomposition_covers_flow():
+    result = run_experiment("fig7")
+    stages = result.column("Stage")
+    assert "dsp compute" in stages
+    assert "cache flush/invalidate" in stages
+    shares = result.column("share")
+    assert sum(shares) == pytest.approx(1.0, abs=0.01)
+    durations = result.series["durations_us"]
+    assert durations[0] > durations[1]  # cold > warm
+
+
+def test_fig8_overhead_amortizes():
+    result = run_experiment("fig8", counts=(1, 5, 20, 100))
+    shares = result.series["offload_share"]
+    assert all(a >= b for a, b in zip(shares, shares[1:]))
+    assert shares[0] > 0.4
+    assert shares[-1] < 0.1
+    means = result.series["mean_ms"]
+    assert means[0] > 1.5 * means[-1]
+
+
+def test_fig9_inference_grows_with_dsp_contention():
+    result = run_experiment("fig9", runs=6, counts=(0, 2, 4))
+    inference = result.series["inference_ms"]
+    assert inference[1] > 1.5 * inference[0]
+    assert inference[2] > 2.5 * inference[0]
+    cpu_side = result.series["capture_plus_pre_ms"]
+    # capture+pre approximately constant (within 2x while inference 4x+).
+    assert max(cpu_side) < 2.0 * min(cpu_side)
+
+
+def test_fig10_cpu_side_grows_inference_constant():
+    result = run_experiment("fig10", runs=6, counts=(0, 4))
+    inference = result.series["inference_ms"]
+    cpu_side = result.series["capture_plus_pre_ms"]
+    assert inference[1] < 1.6 * inference[0]
+    assert cpu_side[1] > 1.1 * cpu_side[0]
+
+
+def test_fig11_app_distribution_wider():
+    result = run_experiment("fig11", runs=60)
+    rows = result.row_map("context")
+    app = rows["app"]
+    benchmark = rows["benchmark"]
+    assert app[5] >= benchmark[5]  # std
+    assert app[8] > benchmark[8]  # CV
+    assert app[2] > benchmark[2]  # mean latency higher in app
+    histogram = result.series["app_histogram"]
+    assert sum(count for _lo, _hi, count in histogram) == app[1]
+
+
+def test_ablation_snpe_dsp_wins():
+    result = run_experiment("ablation_snpe", runs=5)
+    latency = dict(zip(result.column("Runtime"), result.column("inference ms")))
+    assert latency["snpe-dsp"] < latency["cpu"]
+    assert latency["snpe-dsp"] < latency["nnapi"]
+    assert latency["snpe-dsp"] <= latency["hexagon"]
+
+
+def test_ablation_probe_in_band():
+    result = run_experiment("ablation_probe", runs=5)
+    rows = {row[0]: row for row in result.rows}
+    assert 0.04 <= rows["hexagon [int8]"][3] <= 0.07
+    assert rows["cpu [fp32]"][3] == 0.0
+
+
+def test_ablation_coupling_loose_pays_flush():
+    result = run_experiment("ablation_coupling", invokes=10)
+    rows = result.row_map("Coupling")
+    assert rows["loose"][2] > 0
+    assert rows["tight"][2] == 0
+    assert rows["loose"][1] >= rows["tight"][1]
+
+
+def test_ablation_stdlib_inversion():
+    result = run_experiment("ablation_stdlib")
+    rows = result.row_map("stdlib")
+    assert rows["libc++"][3] > 2.0  # ints slower than floats
+    assert rows["libstdc++"][3] < 0.5  # floats slower than ints

@@ -1,0 +1,84 @@
+"""Extension experiment tests (energy, preferences, thermal, sweep, fps)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_energy_dsp_order_of_magnitude_cheaper():
+    result = run_experiment("energy", invokes=10)
+    energy = dict(zip(result.column("Placement"), result.column("mJ/inf")))
+    assert energy["hexagon [int8]"] < energy["cpu x4 [int8]"] / 8
+    assert energy["snpe-dsp [int8]"] <= energy["hexagon [int8]"]
+    # fp32 CPU costs more energy than int8 CPU (more work per MAC).
+    assert energy["cpu x4 [fp32]"] > energy["cpu x4 [int8]"]
+    # EDP ranks the DSP far ahead.
+    edp = dict(zip(result.column("Placement"), result.column("EDP (mJ*ms)")))
+    assert edp["hexagon [int8]"] < edp["cpu x4 [int8]"] / 20
+
+
+def test_preferences_tradeoff():
+    result = run_experiment("preferences", invokes=5)
+    rows = result.row_map("Preference")
+    fast = rows["fast_single_answer"]
+    sustained = rows["sustained_speed"]
+    low_power = rows["low_power"]
+    # LOW_POWER: slowest but lower energy than FAST.
+    assert low_power[1] > fast[1]
+    assert low_power[2] < fast[2]
+    # SUSTAINED: between FAST and LOW_POWER on latency.
+    assert fast[1] <= sustained[1] <= low_power[1]
+
+
+def test_thermal_drift_without_cooldown():
+    result = run_experiment("thermal", invokes=80)
+    rows = {row[0]: row[1] for row in result.rows}
+    assert rows["throttle-induced slowdown"] > 1.2
+    assert rows["is throttling"] is True
+    assert rows["final die temperature C"] > 70.0
+    assert rows["cooldown needed (s)"] > 1.0
+    series = result.series["latency_ms"]
+    # Latency trends upward over the sustained run.
+    head = sum(series[:10]) / 10
+    tail = sum(series[-10:]) / 10
+    assert tail > head
+
+
+def test_soc_sweep_inference_shrinks_tax_grows():
+    result = run_experiment("soc_sweep", runs=6)
+    inference = result.column("inference ms")
+    tax = result.column("AI tax fraction")
+    # Inference latency falls monotonically with newer DSPs.
+    assert all(a > b for a, b in zip(inference, inference[1:]))
+    # The AI-tax share grows as inference shrinks.
+    assert tax[-1] > tax[0]
+    assert tax[-1] > 0.8
+
+
+def test_streaming_fps_capped_by_camera():
+    result = run_experiment("streaming", runs=10)
+    rows = result.row_map("Model")
+    mobilenet = rows["mobilenet_v1"]
+    inception = rows["inception_v3"]
+    assert mobilenet[3] == pytest.approx(30.0, abs=1.0)
+    assert inception[3] < 5.0
+    assert inception[4] > mobilenet[4]  # slow model drops frames
+
+
+def test_memory_footprint_int8_shrinks_4x():
+    result = run_experiment("memory_footprint")
+    rows = result.row_map("Model")
+    assert rows["mobilenet_v1"][5] == pytest.approx(4.0, rel=0.01)
+    # DeepLab's dense 513x513 output dominates its arena.
+    assert rows["deeplab_v3"][2] > rows["deeplab_v3"][1]
+    # AlexNet's footprint is weights-dominated (huge FC layers).
+    assert rows["alexnet"][1] > 50 * rows["alexnet"][2]
+
+
+def test_model_scaling_quadratic():
+    result = run_experiment("model_scaling", resolutions=(128, 224))
+    flops = result.column("GFLOPs")
+    inference = result.column("inference ms (cpu x4)")
+    area_ratio = (224 / 128) ** 2
+    assert flops[1] / flops[0] == pytest.approx(area_ratio, rel=0.15)
+    assert inference[1] / inference[0] == pytest.approx(area_ratio, rel=0.3)

@@ -1,0 +1,31 @@
+"""Shared fixtures for framework tests."""
+
+import pytest
+
+from repro.android import Kernel
+from repro.sim import Simulator
+from repro.soc import make_soc
+
+
+@pytest.fixture
+def rig():
+    """(sim, soc, kernel) on a performance-governed SD845."""
+    sim = Simulator(seed=0, trace=True)
+    soc = make_soc(sim, "sd845", governor_mode="performance")
+    kernel = Kernel(sim, soc, enable_dvfs=False)
+    return sim, soc, kernel
+
+
+def drive_session(sim, kernel, session, invokes=3):
+    """Prepare a session and run ``invokes`` inferences; returns durations."""
+    durations = []
+
+    def body():
+        yield from session.prepare()
+        for _ in range(invokes):
+            duration = yield from session.invoke()
+            durations.append(duration)
+
+    thread = kernel.spawn_on_big(body(), name="driver")
+    sim.run(until=thread.done)
+    return durations

@@ -1,0 +1,67 @@
+"""Partitioner invariants across the whole zoo (property-style)."""
+
+import pytest
+
+from repro.android import Kernel
+from repro.frameworks import NnapiSession
+from repro.models import MODEL_CARDS, load_model
+from repro.sim import Simulator
+from repro.soc import make_soc
+
+
+def make_kernel():
+    sim = Simulator(seed=0)
+    soc = make_soc(sim, "sd845", governor_mode="performance")
+    return Kernel(sim, soc, enable_dvfs=False)
+
+
+def all_cases():
+    for key, card in MODEL_CARDS.items():
+        yield key, "fp32"
+        if card.nnapi_int8 or card.cpu_int8:
+            yield key, "int8"
+
+
+@pytest.mark.parametrize("model_key,dtype", list(all_cases()))
+@pytest.mark.parametrize("feature_level", [1.1, 1.2, 1.3])
+def test_partitions_cover_graph_exactly_once(model_key, dtype, feature_level):
+    """Every op appears exactly once, in the original execution order."""
+    kernel = make_kernel()
+    model = load_model(model_key, dtype)
+    session = NnapiSession(kernel, model, feature_level=feature_level)
+    partitions = session.plan_partitions()
+    flattened = [op for partition in partitions for op in partition.ops]
+    assert flattened == list(model.ops)
+
+
+@pytest.mark.parametrize("model_key,dtype", list(all_cases()))
+def test_no_adjacent_same_device_partitions(model_key, dtype):
+    """Merging leaves no two neighbouring partitions on one device."""
+    kernel = make_kernel()
+    session = NnapiSession(kernel, load_model(model_key, dtype))
+    partitions = session.plan_partitions()
+    for left, right in zip(partitions, partitions[1:]):
+        assert left.device != right.device
+
+
+@pytest.mark.parametrize("model_key,dtype", list(all_cases()))
+def test_accelerated_fraction_bounds(model_key, dtype):
+    kernel = make_kernel()
+    session = NnapiSession(kernel, load_model(model_key, dtype))
+    fraction = session.accelerated_fraction()
+    assert 0.0 <= fraction <= 1.0
+    if session.reference_fallback:
+        assert fraction == 0.0
+
+
+def test_feature_level_monotonically_improves_delegation():
+    """Raising the driver feature level never reduces acceleration."""
+    kernel = make_kernel()
+    for model_key, dtype in all_cases():
+        fractions = []
+        for level in (1.1, 1.2, 1.3):
+            session = NnapiSession(
+                kernel, load_model(model_key, dtype), feature_level=level
+            )
+            fractions.append(session.accelerated_fraction())
+        assert fractions[0] <= fractions[1] <= fractions[2], model_key

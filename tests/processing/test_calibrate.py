@@ -1,0 +1,25 @@
+"""Calibration harness tests (host timings are machine-dependent: loose)."""
+
+from repro.processing.calibrate import compare_with_model, measure_host_kernels
+
+
+def test_measures_all_modelled_kernels():
+    rows = measure_host_kernels(height=96, width=128, out_side=64)
+    names = {name for name, *_rest in rows}
+    assert names == {
+        "bitmap_convert", "resize", "crop", "normalize", "rotate", "quantize",
+    }
+    for _name, elements, elapsed_us, ns_per_elem in rows:
+        assert elements > 0
+        assert elapsed_us > 0
+        assert ns_per_elem > 0
+
+
+def test_comparison_pairs_measured_with_model():
+    rows = measure_host_kernels(height=96, width=128, out_side=64)
+    comparison = compare_with_model(rows)
+    for name, measured_ns, model_ns in comparison:
+        assert model_ns is not None, name
+        # Same order of magnitude band (host numpy vs NEON): generous.
+        assert measured_ns < model_ns * 1000
+        assert measured_ns > model_ns / 1000

@@ -1,0 +1,147 @@
+"""Image pre-processing kernel tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.processing import (
+    bilinear_resize,
+    center_crop,
+    normalize,
+    quantize_to_uint8,
+    rotate90,
+    to_float,
+    yuv_nv21_to_argb,
+)
+
+
+def make_nv21(height, width, y=128, u=128, v=128):
+    luma = np.full(height * width, y, dtype=np.uint8)
+    chroma = np.empty(height * width // 2, dtype=np.uint8)
+    chroma[0::2] = v
+    chroma[1::2] = u
+    return np.concatenate([luma, chroma])
+
+
+def test_yuv_grey_frame_converts_to_grey_rgb():
+    rgb = yuv_nv21_to_argb(make_nv21(4, 6), 4, 6)
+    assert rgb.shape == (4, 6, 3)
+    assert rgb.dtype == np.uint8
+    # Neutral chroma: R == G == B == Y.
+    assert np.all(rgb == 128)
+
+
+def test_yuv_red_push():
+    # V > 128 pushes red up and green down.
+    rgb = yuv_nv21_to_argb(make_nv21(4, 4, y=100, v=200), 4, 4)
+    assert rgb[0, 0, 0] > 100
+    assert rgb[0, 0, 1] < 100
+    assert rgb[0, 0, 2] == 100  # blue unaffected by V
+
+
+def test_yuv_wrong_size_raises():
+    with pytest.raises(ValueError, match="NV21"):
+        yuv_nv21_to_argb(np.zeros(10, dtype=np.uint8), 4, 4)
+
+
+def test_resize_identity():
+    image = np.arange(48, dtype=np.uint8).reshape(4, 4, 3)
+    out = bilinear_resize(image, (4, 4))
+    assert np.allclose(out, image)
+
+
+def test_resize_constant_image_stays_constant():
+    image = np.full((10, 8, 3), 77, dtype=np.uint8)
+    out = bilinear_resize(image, (23, 17))
+    assert out.shape == (23, 17, 3)
+    assert np.allclose(out, 77)
+
+
+def test_resize_preserves_linear_gradient():
+    gradient = np.linspace(0, 100, 64)[None, :, None] * np.ones((8, 1, 1))
+    out = bilinear_resize(gradient, (8, 32))
+    diffs = np.diff(out[0, :, 0])
+    assert np.all(diffs >= -1e-5)  # monotone
+    assert out.min() >= 0 and out.max() <= 100
+
+
+def test_resize_downscale_averages():
+    image = np.zeros((2, 2, 1), dtype=np.float32)
+    image[0, 0] = 100
+    out = bilinear_resize(image, (1, 1))
+    assert 0 < out[0, 0, 0] < 100
+
+
+def test_resize_rejects_bad_size():
+    with pytest.raises(ValueError):
+        bilinear_resize(np.zeros((4, 4, 3)), (0, 4))
+
+
+def test_center_crop_extracts_middle():
+    image = np.zeros((6, 6), dtype=np.uint8)
+    image[2:4, 2:4] = 9
+    out = center_crop(image, (2, 2))
+    assert np.all(out == 9)
+
+
+def test_center_crop_too_large_raises():
+    with pytest.raises(ValueError, match="crop"):
+        center_crop(np.zeros((4, 4)), (5, 5))
+
+
+def test_normalize_zero_mean_unit_range():
+    image = np.array([0, 127.5, 255], dtype=np.float32)
+    out = normalize(image)
+    assert out == pytest.approx([-1.0, 0.0, 1.0])
+
+
+def test_normalize_zero_std_raises():
+    with pytest.raises(ValueError):
+        normalize(np.zeros(3), std=0)
+
+
+def test_rotate90_cycles():
+    image = np.arange(12).reshape(3, 4)
+    once = rotate90(image, 1)
+    assert once.shape == (4, 3)
+    assert np.array_equal(rotate90(image, 4), image)
+    # One clockwise turn: first row becomes last column.
+    assert np.array_equal(once[:, -1], image[0])
+
+
+def test_to_float_scales_bytes():
+    out = to_float(np.array([0, 255], dtype=np.uint8))
+    assert out == pytest.approx([0.0, 1.0])
+
+
+def test_quantize_to_uint8_clips():
+    out = quantize_to_uint8(np.array([-5.0, 100.0, 300.0]))
+    assert out.dtype == np.uint8
+    assert list(out) == [0, 100, 255]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    in_h=st.integers(2, 24),
+    in_w=st.integers(2, 24),
+    out_h=st.integers(1, 32),
+    out_w=st.integers(1, 32),
+)
+def test_resize_bounds_property(in_h, in_w, out_h, out_w):
+    """Bilinear output values never exceed the input value range."""
+    rng = np.random.default_rng(in_h * 1000 + in_w * 100 + out_h * 10 + out_w)
+    image = rng.integers(0, 256, size=(in_h, in_w, 3)).astype(np.uint8)
+    out = bilinear_resize(image, (out_h, out_w))
+    assert out.shape == (out_h, out_w, 3)
+    assert out.min() >= image.min() - 1e-4
+    assert out.max() <= image.max() + 1e-4
+
+
+@settings(max_examples=25, deadline=None)
+@given(h=st.integers(1, 16), w=st.integers(1, 16), turns=st.integers(0, 7))
+def test_rotate_preserves_multiset(h, w, turns):
+    rng = np.random.default_rng(h * 100 + w * 10 + turns)
+    image = rng.integers(0, 256, size=(h, w)).astype(np.uint8)
+    out = rotate90(image, turns)
+    assert sorted(out.reshape(-1)) == sorted(image.reshape(-1))

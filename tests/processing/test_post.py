@@ -1,0 +1,156 @@
+"""Post-processing kernel tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.processing import (
+    QuantParams,
+    decode_boxes,
+    decode_keypoints,
+    dequantize,
+    flatten_mask,
+    non_max_suppression,
+    quantize,
+    top_k,
+)
+
+
+def test_top_k_orders_descending():
+    scores = np.array([0.1, 0.9, 0.5, 0.7])
+    result = top_k(scores, k=3)
+    assert [index for index, _ in result] == [1, 3, 2]
+    assert result[0][1] == pytest.approx(0.9)
+
+
+def test_top_k_with_labels():
+    result = top_k(np.array([0.2, 0.8]), k=1, labels=["cat", "dog"])
+    assert result == [("dog", pytest.approx(0.8))]
+
+
+def test_top_k_k_larger_than_classes():
+    assert len(top_k(np.array([1.0, 2.0]), k=10)) == 2
+
+
+def test_top_k_rejects_bad_k():
+    with pytest.raises(ValueError):
+        top_k(np.array([1.0]), k=0)
+
+
+def test_flatten_mask_argmax():
+    logits = np.zeros((2, 2, 3))
+    logits[0, 0, 2] = 5
+    logits[1, 1, 1] = 5
+    mask = flatten_mask(logits)
+    assert mask.tolist() == [2, 0, 0, 1]
+    assert mask.dtype == np.int32
+
+
+def test_flatten_mask_bad_rank():
+    with pytest.raises(ValueError):
+        flatten_mask(np.zeros((4, 4)))
+
+
+def test_decode_keypoints_maps_to_image_coordinates():
+    grid_h, grid_w, keypoints = 3, 3, 2
+    heatmaps = np.zeros((grid_h, grid_w, keypoints))
+    heatmaps[1, 2, 0] = 0.9
+    heatmaps[2, 0, 1] = 0.8
+    offsets = np.zeros((grid_h, grid_w, 2 * keypoints))
+    offsets[1, 2, 0] = 3.0  # dy for keypoint 0
+    offsets[1, 2, 2] = -1.0  # dx for keypoint 0
+    result = decode_keypoints(heatmaps, offsets, output_stride=16)
+    assert result[0].tolist() == [16 + 3.0, 32 - 1.0, pytest.approx(0.9)]
+    assert result[1][2] == pytest.approx(0.8)
+
+
+def test_decode_keypoints_shape_mismatch():
+    with pytest.raises(ValueError):
+        decode_keypoints(np.zeros((3, 3, 2)), np.zeros((3, 3, 3)))
+
+
+def test_decode_boxes_identity_for_zero_encoding():
+    anchors = np.array([[0.5, 0.5, 0.2, 0.4]])
+    boxes = decode_boxes(np.zeros((1, 4)), anchors)
+    assert boxes[0] == pytest.approx([0.4, 0.3, 0.6, 0.7])
+
+
+def test_decode_boxes_shape_check():
+    with pytest.raises(ValueError):
+        decode_boxes(np.zeros((2, 4)), np.zeros((3, 4)))
+
+
+def test_nms_suppresses_overlapping():
+    boxes = np.array(
+        [
+            [0.0, 0.0, 1.0, 1.0],
+            [0.05, 0.05, 1.0, 1.0],  # heavy overlap with box 0
+            [2.0, 2.0, 3.0, 3.0],  # disjoint
+        ]
+    )
+    scores = np.array([0.9, 0.8, 0.7])
+    keep = non_max_suppression(boxes, scores, iou_threshold=0.5)
+    assert keep == [0, 2]
+
+
+def test_nms_respects_max_detections():
+    boxes = np.array([[i, i, i + 0.5, i + 0.5] for i in range(20)])
+    scores = np.linspace(1, 0.1, 20)
+    keep = non_max_suppression(boxes, scores, max_detections=5)
+    assert len(keep) == 5
+    assert keep == [0, 1, 2, 3, 4]
+
+
+def test_quant_roundtrip_exact_at_gridpoints():
+    params = QuantParams(scale=0.5, zero_point=10)
+    values = np.array([-5.0, 0.0, 2.5, 100.0])
+    assert dequantize(quantize(values, params), params) == pytest.approx(values)
+
+
+def test_quant_params_validation():
+    with pytest.raises(ValueError):
+        QuantParams(scale=0.0, zero_point=0)
+    with pytest.raises(ValueError):
+        QuantParams(scale=1.0, zero_point=400)
+    params = QuantParams.from_range(-1.0, 1.0)
+    assert params.zero_point == 128 or params.zero_point == 127
+    with pytest.raises(ValueError):
+        QuantParams.from_range(1.0, 1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.floats(-10, 10), min_size=1, max_size=40),
+    low=st.floats(-20, -1),
+    high=st.floats(1, 20),
+)
+def test_quantization_error_bounded_property(values, low, high):
+    """Round-trip error is at most half a quantization step."""
+    params = QuantParams.from_range(low, high)
+    array = np.clip(np.array(values, dtype=np.float32), low, high)
+    recovered = dequantize(quantize(array, params), params)
+    assert np.all(np.abs(recovered - array) <= params.scale * 0.51 + 1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 10))
+def test_top_k_matches_full_sort_property(seed, k):
+    rng = np.random.default_rng(seed)
+    scores = rng.random(50)
+    expected = sorted(enumerate(scores), key=lambda p: -p[1])[:k]
+    actual = top_k(scores, k=k)
+    assert [i for i, _ in actual] == [i for i, _ in expected]
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_nms_keeps_disjoint_boxes_property(seed):
+    """Boxes with zero mutual IoU are never suppressed."""
+    rng = np.random.default_rng(seed)
+    n = 8
+    # Disjoint unit boxes on a diagonal grid.
+    boxes = np.array([[3 * i, 3 * i, 3 * i + 1, 3 * i + 1] for i in range(n)])
+    scores = rng.random(n)
+    keep = non_max_suppression(boxes, scores, max_detections=n)
+    assert sorted(keep) == list(range(n))

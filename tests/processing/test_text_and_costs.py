@@ -1,0 +1,214 @@
+"""Tokenizer, logits post-processing, cost models, and plan builders."""
+
+import numpy as np
+import pytest
+
+from repro.models import load_model, model_card
+from repro.processing import (
+    IMPL_JAVA,
+    IMPL_NATIVE,
+    bitmap_convert_cost_us,
+    build_postprocess_plan,
+    build_preprocessor,
+    compute_logits,
+    normalize_cost_us,
+    random_input_cost_us,
+    resize_cost_us,
+    rotate_cost_us,
+    wordpiece_tokenize,
+)
+from repro.processing.text import default_vocab
+
+
+# -- tokenizer ----------------------------------------------------------
+
+
+def test_tokenize_wraps_with_cls_sep():
+    vocab = default_vocab()
+    ids = wordpiece_tokenize("the mobile phone", max_len=16)
+    assert ids[0] == vocab["[CLS]"]
+    assert ids[1] == vocab["the"]
+    assert vocab["[SEP]"] in ids
+    assert ids.dtype == np.int32
+    assert len(ids) == 16
+
+
+def test_tokenize_splits_into_wordpieces():
+    vocab = default_vocab()
+    ids = wordpiece_tokenize("runs", max_len=8).tolist()
+    # "run" + "##s" via greedy longest-match.
+    assert vocab["run"] in ids
+    assert vocab["##s"] in ids
+
+
+def test_tokenize_unknown_word_maps_to_unk():
+    vocab = default_vocab()
+    ids = wordpiece_tokenize("@@@@", max_len=8).tolist()
+    # Punctuation is stripped; empty words skipped entirely.
+    assert vocab["[UNK]"] not in ids[:1]
+    ids = wordpiece_tokenize("Ω", max_len=8).tolist()
+    assert ids[0] == vocab["[CLS]"]
+
+
+def test_tokenize_respects_max_len():
+    ids = wordpiece_tokenize("the " * 500, max_len=32)
+    assert len(ids) == 32
+
+
+def test_compute_logits_selects_best_span():
+    start = np.zeros(20)
+    end = np.zeros(20)
+    start[5] = 10.0
+    end[8] = 9.0
+    spans = compute_logits(start, end)
+    assert spans[0][:2] == (5, 8)
+    assert spans[0][2] == pytest.approx(19.0)
+
+
+def test_compute_logits_rejects_reversed_span():
+    start = np.zeros(10)
+    end = np.zeros(10)
+    start[8] = 5.0
+    end[2] = 5.0  # before start: invalid span
+    spans = compute_logits(start, end, top_k=1)
+    assert all(s <= e for s, e, _ in spans)
+
+
+def test_compute_logits_length_mismatch():
+    with pytest.raises(ValueError):
+        compute_logits(np.zeros(5), np.zeros(6))
+
+
+# -- cost models ---------------------------------------------------------
+
+
+def test_java_costs_exceed_native():
+    assert bitmap_convert_cost_us(640, 480, IMPL_JAVA) > bitmap_convert_cost_us(
+        640, 480, IMPL_NATIVE
+    )
+    assert resize_cost_us((224, 224), impl=IMPL_JAVA) > resize_cost_us(
+        (224, 224), impl=IMPL_NATIVE
+    )
+
+
+def test_costs_scale_with_size():
+    assert rotate_cost_us((513, 513)) > rotate_cost_us((224, 224)) * 3
+    assert normalize_cost_us((448, 448)) > normalize_cost_us((224, 224))
+
+
+def test_random_generation_stdlib_asymmetry():
+    """libc++ is fast for reals, slow for ints; libstdc++ the opposite."""
+    elements = 224 * 224 * 3
+    libcpp_float = random_input_cost_us(elements, "fp32", "libc++")
+    libcpp_int = random_input_cost_us(elements, "int8", "libc++")
+    gnu_float = random_input_cost_us(elements, "fp32", "libstdc++")
+    gnu_int = random_input_cost_us(elements, "int8", "libstdc++")
+    assert libcpp_int > libcpp_float * 3
+    assert gnu_float > gnu_int * 2
+    with pytest.raises(ValueError):
+        random_input_cost_us(10, "fp32", "msvc")
+
+
+# -- plan builders --------------------------------------------------------
+
+
+def test_app_preprocessor_includes_bitmap_conversion():
+    card = model_card("mobilenet_v1")
+    model = load_model("mobilenet_v1")
+    plan = build_preprocessor(card, model, context="app")
+    assert plan.step_names() == ["bitmap_convert", "scale", "crop", "normalize"]
+    assert plan.cost_us > 5_000  # managed-code loops are expensive
+
+
+def test_benchmark_preprocessor_is_minimal():
+    card = model_card("mobilenet_v1")
+    model = load_model("mobilenet_v1")
+    plan = build_preprocessor(card, model, context="benchmark")
+    assert "bitmap_convert" not in plan.step_names()
+    assert plan.cost_us < 500
+
+
+def test_quantized_model_gets_type_conversion():
+    card = model_card("mobilenet_v1")
+    model = load_model("mobilenet_v1", "int8")
+    plan = build_preprocessor(card, model, context="app")
+    assert "type_conversion" in plan.step_names()
+    assert "normalize" not in plan.step_names()
+
+
+def test_posenet_preprocessor_rotates():
+    card = model_card("posenet")
+    model = load_model("posenet")
+    plan = build_preprocessor(card, model, context="app")
+    assert "rotate" in plan.step_names()
+    assert plan.rotate_turns == 1
+
+
+def test_bert_preprocessor_tokenizes_only():
+    card = model_card("mobile_bert")
+    model = load_model("mobile_bert")
+    plan = build_preprocessor(card, model, context="app")
+    assert plan.step_names() == ["tokenization"]
+
+
+def test_preprocessor_run_produces_model_input():
+    card = model_card("mobilenet_v1")
+    model = load_model("mobilenet_v1")
+    plan = build_preprocessor(card, model, context="app")
+    frame = np.random.default_rng(0).integers(
+        0, 256, size=(480, 640, 3)
+    ).astype(np.uint8)
+    out = plan.run(frame)
+    assert out.shape == (224, 224, 3)
+    assert out.dtype == np.float32
+    assert -1.01 <= out.min() and out.max() <= 1.01
+
+
+def test_preprocessor_run_quantized_output():
+    card = model_card("mobilenet_v1")
+    model = load_model("mobilenet_v1", "int8")
+    plan = build_preprocessor(card, model, context="app")
+    frame = np.zeros((480, 640, 3), dtype=np.uint8)
+    out = plan.run(frame)
+    assert out.dtype == np.uint8
+    assert out.shape == (224, 224, 3)
+
+
+def test_postprocess_classification_fp32_vs_int8():
+    card = model_card("mobilenet_v1")
+    fp32 = build_postprocess_plan(card, load_model("mobilenet_v1"))
+    int8 = build_postprocess_plan(card, load_model("mobilenet_v1", "int8"))
+    assert fp32.step_names() == ["topK"]
+    assert int8.step_names() == ["topK", "dequantization"]
+
+
+def test_postprocess_segmentation_dominates_classification():
+    deeplab = build_postprocess_plan(
+        model_card("deeplab_v3"), load_model("deeplab_v3")
+    )
+    mobilenet = build_postprocess_plan(
+        model_card("mobilenet_v1"), load_model("mobilenet_v1")
+    )
+    assert "mask_flattening" in deeplab.step_names()
+    assert deeplab.cost_us > 100 * mobilenet.cost_us
+
+
+def test_postprocess_detection_app_adds_nms():
+    card = model_card("ssd_mobilenet_v2")
+    model = load_model("ssd_mobilenet_v2")
+    app = build_postprocess_plan(card, model, context="app")
+    benchmark = build_postprocess_plan(card, model, context="benchmark")
+    assert "box_decode_nms" in app.step_names()
+    assert "box_decode_nms" not in benchmark.step_names()
+
+
+def test_postprocess_posenet_keypoints():
+    plan = build_postprocess_plan(model_card("posenet"), load_model("posenet"))
+    assert plan.step_names() == ["calculate_keypoints"]
+
+
+def test_bad_context_raises():
+    with pytest.raises(ValueError):
+        build_preprocessor(
+            model_card("mobilenet_v1"), load_model("mobilenet_v1"), context="cli"
+        )

@@ -1,0 +1,102 @@
+"""IoU tracker tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.processing.tracking import IouTracker, tracking_cost_us
+
+
+def box(y, x, size=1.0):
+    return [y, x, y + size, x + size]
+
+
+def test_new_detections_open_tracks():
+    tracker = IouTracker()
+    tracks = tracker.update([box(0, 0), box(5, 5)], [0.9, 0.8])
+    assert len(tracks) == 2
+    assert {track.track_id for track in tracks} == {1, 2}
+    assert not any(track.confirmed for track in tracks)
+
+
+def test_moving_object_keeps_its_id():
+    tracker = IouTracker()
+    tracker.update([box(0, 0)], [0.9])
+    for step in range(1, 5):
+        tracks = tracker.update([box(0, step * 0.2)], [0.9])
+    assert len(tracks) == 1
+    assert tracks[0].track_id == 1
+    assert tracks[0].hits == 5
+    assert tracks[0].confirmed
+    assert len(tracks[0].history) == 4
+
+
+def test_disjoint_detection_opens_second_track():
+    tracker = IouTracker()
+    tracker.update([box(0, 0)], [0.9])
+    tracks = tracker.update([box(0, 0.1), box(50, 50)], [0.9, 0.7])
+    assert len(tracks) == 2
+    ids = sorted(track.track_id for track in tracks)
+    assert ids == [1, 2]
+
+
+def test_track_retired_after_max_misses():
+    tracker = IouTracker(max_misses=2)
+    tracker.update([box(0, 0)], [0.9])
+    for _ in range(2):
+        tracker.update(np.zeros((0, 4)), np.zeros(0))
+    assert len(tracker.tracks) == 1  # 2 misses: still alive
+    tracker.update(np.zeros((0, 4)), np.zeros(0))
+    assert tracker.tracks == []  # 3rd miss: retired
+
+
+def test_reappearing_object_recovers_track():
+    tracker = IouTracker(max_misses=3)
+    tracker.update([box(0, 0)], [0.9])
+    tracker.update(np.zeros((0, 4)), np.zeros(0))
+    tracks = tracker.update([box(0, 0.05)], [0.8])
+    assert tracks[0].track_id == 1
+    assert tracks[0].misses == 0
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        IouTracker(iou_threshold=0.0)
+    tracker = IouTracker()
+    with pytest.raises(ValueError, match="disagree"):
+        tracker.update([box(0, 0)], [0.9, 0.8])
+
+
+def test_tracking_cost_grows_with_objects():
+    assert tracking_cost_us(10, 10) > tracking_cost_us(2, 2)
+    assert tracking_cost_us(0, 0) > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    frames=st.integers(1, 8),
+    objects=st.integers(0, 6),
+)
+def test_track_count_bounded_property(seed, frames, objects):
+    """Tracks never exceed cumulative detections; ids never recycle."""
+    rng = np.random.default_rng(seed)
+    tracker = IouTracker()
+    total_detections = 0
+    seen_ids = set()
+    for _ in range(frames):
+        count = int(rng.integers(0, objects + 1))
+        total_detections += count
+        boxes = np.stack(
+            [
+                np.array(box(float(rng.uniform(0, 50)),
+                             float(rng.uniform(0, 50))))
+                for _ in range(count)
+            ]
+        ) if count else np.zeros((0, 4))
+        tracks = tracker.update(boxes, rng.uniform(0.1, 1.0, size=count))
+        assert len(tracks) <= total_detections
+        for track in tracks:
+            seen_ids.add(track.track_id)
+    assert len(seen_ids) <= total_detections

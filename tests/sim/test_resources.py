@@ -1,0 +1,159 @@
+"""Tests for resources, stores, RNG streams, and traces."""
+
+from repro.sim import Simulator, Resource, PriorityResource, Store, RngStreams
+
+
+def make_holder(sim, resource, log, name, hold, results=None, priority=None):
+    def body():
+        if priority is None:
+            request = resource.request()
+        else:
+            request = resource.request(priority=priority)
+        yield request
+        log.append((name, "acquired", sim.now))
+        yield sim.timeout(hold)
+        request.release()
+        log.append((name, "released", sim.now))
+
+    return sim.process(body())
+
+
+def test_capacity_one_serializes_users():
+    sim = Simulator()
+    dsp = Resource(sim, capacity=1, name="dsp")
+    log = []
+    for name in ("a", "b", "c"):
+        make_holder(sim, dsp, log, name, hold=10)
+    sim.run()
+    acquired = [(n, t) for n, kind, t in log if kind == "acquired"]
+    assert acquired == [("a", 0), ("b", 10), ("c", 20)]
+
+
+def test_capacity_two_allows_overlap():
+    sim = Simulator()
+    pool = Resource(sim, capacity=2)
+    log = []
+    for name in ("a", "b", "c"):
+        make_holder(sim, pool, log, name, hold=10)
+    sim.run()
+    acquired = [(n, t) for n, kind, t in log if kind == "acquired"]
+    assert acquired == [("a", 0), ("b", 0), ("c", 10)]
+
+
+def test_queue_length_tracks_waiters():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+    for name in ("a", "b", "c"):
+        make_holder(sim, res, log, name, hold=10)
+
+    def probe():
+        yield sim.timeout(5)
+        return res.queue_length, res.in_use
+
+    assert sim.run(until=sim.process(probe())) == (2, 1)
+
+
+def test_priority_resource_grants_lowest_priority_first():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    log = []
+    make_holder(sim, res, log, "first", hold=10, priority=5)
+
+    def late_arrivals():
+        yield sim.timeout(1)
+        make_holder(sim, res, log, "low", hold=5, priority=9)
+        make_holder(sim, res, log, "high", hold=5, priority=0)
+
+    sim.process(late_arrivals())
+    sim.run()
+    acquired = [n for n, kind, _t in log if kind == "acquired"]
+    assert acquired == ["first", "high", "low"]
+
+
+def test_store_fifo_and_blocking_get():
+    sim = Simulator()
+    store = Store(sim)
+    seen = []
+
+    def consumer():
+        for _ in range(2):
+            item = yield store.get()
+            seen.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(3)
+        store.put("frame0")
+        yield sim.timeout(3)
+        store.put("frame1")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert seen == [(3, "frame0"), (6, "frame1")]
+
+
+def test_store_capacity_drops_oldest():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    assert store.put("a") == 0
+    assert store.put("b") == 0
+    assert store.put("c") == 1
+    assert store.items == ["b", "c"]
+
+
+def test_rng_streams_are_independent_and_reproducible():
+    streams_one = RngStreams(seed=7)
+    streams_two = RngStreams(seed=7)
+    a1 = streams_one["alpha"].random(4).tolist()
+    # Interleave another stream: must not perturb alpha's draws.
+    streams_two["beta"].random(100)
+    a2 = streams_two["alpha"].random(4).tolist()
+    assert a1 == a2
+
+
+def test_rng_streams_differ_across_seeds_and_names():
+    streams = RngStreams(seed=7)
+    other = RngStreams(seed=8)
+    assert streams["x"].random(4).tolist() != other["x"].random(4).tolist()
+    fresh = RngStreams(seed=7)
+    assert fresh["x"].random(4).tolist() != fresh["y"].random(4).tolist()
+
+
+def test_trace_utilization_merges_overlaps():
+    sim = Simulator(trace=True)
+    trace = sim.trace
+    trace.record("cpu0", "a", 0, 50)
+    trace.record("cpu0", "b", 25, 75)
+    sim.run(until=100)
+    assert trace.utilization("cpu0", 0, 100) == 0.75
+
+
+def test_trace_timeline_buckets():
+    sim = Simulator(trace=True)
+    sim.trace.record("cpu0", "busy", 0, 10)
+    sim.run(until=40)
+    assert sim.trace.timeline("cpu0", 10) == [1.0, 0.0, 0.0, 0.0]
+
+
+def test_trace_begin_end_spans():
+    sim = Simulator(trace=True)
+
+    def body():
+        span = sim.trace.begin("dsp", "infer")
+        yield sim.timeout(30)
+        sim.trace.end(span)
+
+    sim.process(body())
+    sim.run()
+    spans = sim.trace.spans_on("dsp")
+    assert len(spans) == 1
+    assert spans[0].duration == 30
+
+
+def test_trace_counters_total():
+    sim = Simulator(trace=True)
+    sim.trace.count("ctx_switch")
+    sim.trace.count("ctx_switch", 2)
+    assert sim.trace.counter_total("ctx_switch") == 3
+    assert sim.trace.counter_total("missing") == 0

@@ -1,0 +1,89 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_models_command(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    assert "MobileNet 1.0 v1" in out
+    assert "Mobile BERT" in out
+
+
+def test_socs_command(capsys):
+    assert main(["socs"]) == 0
+    out = capsys.readouterr().out
+    assert "Google Pixel 3" in out
+
+
+def test_run_command(capsys):
+    assert main([
+        "run", "--model", "mobilenet_v1", "--dtype", "int8",
+        "--context", "cli", "--target", "cpu", "--runs", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "ai_tax" in out
+    assert "AI tax fraction" in out
+    assert "median" in out
+
+
+def test_experiment_command(capsys):
+    assert main(["experiment", "fig5", "--runs", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "[fig5]" in out
+    assert "nnapi" in out
+
+
+def test_experiment_rejects_unknown_id():
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])
+
+
+def test_run_rejects_bad_target():
+    with pytest.raises(SystemExit):
+        main(["run", "--target", "tpu"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_with_config_file(tmp_path, capsys):
+    import json
+
+    config_path = tmp_path / "config.json"
+    config_path.write_text(json.dumps({
+        "model_key": "mobilenet_v1", "dtype": "int8", "context": "cli",
+        "target": "cpu", "runs": 3,
+    }))
+    assert main(["run", "--config", str(config_path)]) == 0
+    out = capsys.readouterr().out
+    assert "ai_tax" in out
+
+
+def test_config_dict_roundtrip():
+    from repro.apps import PipelineConfig
+    from repro.apps.harness import config_from_dict, config_to_dict
+
+    config = PipelineConfig(model_key="posenet", source_hw=(240, 320))
+    rebuilt = config_from_dict(config_to_dict(config))
+    assert rebuilt == config
+
+
+def test_config_unknown_key_rejected():
+    import pytest as _pytest
+
+    from repro.apps.harness import config_from_dict
+
+    with _pytest.raises(ValueError, match="unknown config keys"):
+        config_from_dict({"model": "mobilenet_v1"})
+
+
+def test_summary_command(capsys):
+    assert main(["summary"]) == 0
+    out = capsys.readouterr().out
+    assert "all takeaways hold:       yes" in out
+    assert "registered experiments" in out

@@ -1,0 +1,81 @@
+"""Terminal visualization tests."""
+
+from repro.viz import (
+    bar_chart,
+    grouped_bars,
+    histogram,
+    line_series,
+    profile_strips,
+    timeline_strip,
+)
+
+
+def test_bar_chart_scales_to_max():
+    chart = bar_chart([("a", 10.0), ("b", 5.0)], width=10)
+    lines = chart.splitlines()
+    assert lines[0].count("█") == 10
+    assert lines[1].count("█") == 5
+    assert "10.00 ms" in lines[0]
+
+
+def test_bar_chart_title_and_empty():
+    assert bar_chart([], title="t") == "(no data)"
+    chart = bar_chart([("x", 1.0)], title="My Chart")
+    assert chart.splitlines()[0] == "My Chart"
+
+
+def test_grouped_bars_stack_and_legend():
+    chart = grouped_bars(
+        [("run", [5.0, 5.0])], stages=("pre", "infer"), width=10
+    )
+    lines = chart.splitlines()
+    assert "pre" in lines[0] and "infer" in lines[0]
+    assert "█" in lines[1] and "▓" in lines[1]
+    assert "10.00" in lines[1]
+
+
+def test_histogram_counts_every_sample():
+    values = [1.0] * 5 + [2.0] * 3 + [9.0]
+    chart = histogram(values, bins=4, width=10)
+    counted = sum(
+        int(line.rsplit(" ", 1)[-1]) for line in chart.splitlines()
+    )
+    assert counted == len(values)
+
+
+def test_histogram_degenerate():
+    assert "all 3 samples" in histogram([2.0, 2.0, 2.0])
+    assert histogram([]) == "(no data)"
+
+
+def test_timeline_strip_shading():
+    strip = timeline_strip([0.0, 0.5, 1.0], label="cpu0")
+    assert strip.startswith("  cpu0 |")
+    body = strip.split("|")[1]
+    assert body[0] == " "
+    assert body[-1] == "█"
+
+
+def test_timeline_strip_downsamples():
+    strip = timeline_strip([1.0] * 100, width=10)
+    assert len(strip.split("|")[1]) == 10
+
+
+def test_profile_strips_order():
+    text = profile_strips(
+        {"cpu0": [1.0], "cdsp": [0.0]}, order=["cdsp", "cpu0"]
+    )
+    lines = text.splitlines()
+    assert lines[0].strip().startswith("cdsp")
+    assert lines[1].strip().startswith("cpu0")
+
+
+def test_line_series_plots_extremes():
+    text = line_series([1, 2, 3], [1.0, 2.0, 3.0], width=12, height=5)
+    lines = text.splitlines()
+    assert "o" in lines[0]  # max y at top
+    assert "o" in lines[4]  # min y at bottom
+
+
+def test_line_series_empty():
+    assert line_series([], []) == "(no data)"
