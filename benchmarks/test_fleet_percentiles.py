@@ -1,0 +1,24 @@
+"""Bench: fleet-level AI-tax percentiles over a device population."""
+
+from repro.experiments import run_experiment
+
+
+def test_fleet_percentiles(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("fleet_percentiles",),
+        kwargs={"sessions": 64, "runs": 6, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    save_result(result)
+    # Fig 11 at scale: the app packaging's run-to-run tail is heavier
+    # than the benchmark packaging's.
+    app_tail = result.series["app_tail_ratio"][0]
+    benchmark_tail = result.series["benchmark_tail_ratio"][0]
+    assert app_tail > benchmark_tail
+    # Takeaway 1: quantized accelerated apps spend ~half their
+    # end-to-end time in capture+pre+post.
+    quantized = result.series["quantized_app_tax_fraction"][0]
+    assert 0.35 <= quantized <= 0.80
+    benchmark.extra_info["app_tail_ratio"] = app_tail
+    benchmark.extra_info["benchmark_tail_ratio"] = benchmark_tail
+    benchmark.extra_info["quantized_app_tax_fraction"] = quantized

@@ -37,6 +37,10 @@ class PipelineConfig:
     source_hw: tuple = (480, 640)
     fps: float = 30.0
     trace: bool = False
+    #: Die temperature (°C) at session start; ``None`` keeps the SoC's
+    #: idle temperature (the paper's cooled-down protocol, §III-D).
+    #: Fleet simulation uses this to model devices that start warm.
+    ambient_celsius: float = None
     #: (count, target) of background inference jobs, e.g. (4, "nnapi").
     background: tuple = None
     background_model: str = "mobilenet_v1"
@@ -82,6 +86,9 @@ def build_rig(config):
     """(sim, soc, kernel) for a config."""
     sim = Simulator(seed=config.seed, trace=config.trace)
     soc = make_soc(sim, config.soc, governor_mode=config.governor)
+    if config.ambient_celsius is not None:
+        soc.thermal.temperature = float(config.ambient_celsius)
+        soc.thermal._apply_throttle()
     kernel = Kernel(sim, soc, enable_dvfs=(config.governor == "schedutil"))
     return sim, soc, kernel
 

@@ -11,6 +11,9 @@ Commands
     Simulate one pipeline configuration and print its AI-tax breakdown.
 ``experiment``
     Regenerate one paper table/figure by id (``fig5``, ``table1``, ...).
+``fleet``
+    Simulate a device population in parallel and print fleet-level
+    AI-tax percentiles.
 ``report``
     Regenerate everything (the EXPERIMENTS.md content).
 """
@@ -105,6 +108,24 @@ def _cmd_summary(_args):
     return 0 if holds else 1
 
 
+def _cmd_fleet(args):
+    from repro.fleet import aggregate_fleet, run_fleet
+
+    fleet = run_fleet(
+        sessions=args.sessions,
+        workers=args.workers,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        runs=args.runs,
+    )
+    print(aggregate_fleet(fleet).to_experiment_result().render())
+    print(
+        f"\nsessions: {len(fleet)}  simulated: {fleet.simulated}  "
+        f"cache hits: {fleet.cache_hits}  workers: {fleet.workers}"
+    )
+    return 0
+
+
 def _cmd_report(args):
     order = sorted(REGISTRY)
     for experiment_id in order:
@@ -167,6 +188,27 @@ def build_parser():
         help="also write the result as JSON",
     )
 
+    fleet_parser = sub.add_parser(
+        "fleet", help="simulate a device population in parallel"
+    )
+    fleet_parser.add_argument(
+        "--sessions", type=int, default=64,
+        help="number of device sessions to expand from the population",
+    )
+    fleet_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size (results are identical for any value)",
+    )
+    fleet_parser.add_argument("--seed", type=int, default=0)
+    fleet_parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="on-disk result cache; re-runs skip simulated sessions",
+    )
+    fleet_parser.add_argument(
+        "--runs", type=int, default=None,
+        help="inference iterations per session (default: population's)",
+    )
+
     report_parser = sub.add_parser("report", help="regenerate everything")
     report_parser.add_argument("--fast", action="store_true")
     return parser
@@ -178,6 +220,7 @@ _HANDLERS = {
     "socs": _cmd_socs,
     "run": _cmd_run,
     "experiment": _cmd_experiment,
+    "fleet": _cmd_fleet,
     "report": _cmd_report,
 }
 

@@ -13,7 +13,7 @@ from repro.core.analysis import (
     breakdown,
     compare_contexts,
 )
-from repro.core.measurement import PipelineRun, RunCollection
+from repro.core.measurement import PipelineRun, RunCollection, percentile
 from repro.core.probe import ProbeEffect
 from repro.core.report import render_table
 from repro.core.taxonomy import (
@@ -38,6 +38,7 @@ __all__ = [
     "compare_contexts",
     "PipelineRun",
     "RunCollection",
+    "percentile",
     "ProbeEffect",
     "render_table",
     "CATEGORY_ALGORITHMS",

@@ -87,6 +87,17 @@ def _percentile(sorted_values, fraction):
     return low_value + weight * (sorted_values[upper] - low_value)
 
 
+def percentile(values, fraction):
+    """Linear-interpolated percentile of an unsorted sequence.
+
+    The same estimator :class:`RunCollection` uses, exposed for callers
+    (fleet aggregation) that pool values across many collections.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0,1], got {fraction}")
+    return _percentile(sorted(values), fraction)
+
+
 @dataclass
 class RunCollection:
     """A set of runs of the same configuration, with statistics."""

@@ -21,6 +21,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     fig9,
     fig10,
     fig11,
+    fleet,
     table1,
     table2,
 )

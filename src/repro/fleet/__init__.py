@@ -1,0 +1,43 @@
+"""Parallel device-population simulation — the fleet view of the AI tax.
+
+The paper measures single lab devices; this package scales the same
+measurement substrate to a heterogeneous population: declare a
+:class:`DevicePopulation` (weighted axes over SoC, workload, packaging,
+target, thermal state, and background load), expand it into
+deterministic per-session configs with SeedSequence-derived seeds, run
+them across a process pool with an on-disk result cache, and aggregate
+per-stage AI-tax breakdowns into fleet-level percentiles.
+
+    from repro.fleet import run_fleet, aggregate_fleet
+    fleet = run_fleet(sessions=64, workers=4, seed=0, cache_dir=".fleet")
+    print(aggregate_fleet(fleet).to_experiment_result().render())
+"""
+
+from repro.fleet.aggregate import FleetAggregate, SliceStats, aggregate_fleet
+from repro.fleet.cache import ResultCache
+from repro.fleet.population import (
+    Axis,
+    DevicePopulation,
+    expand_population,
+    paper_population,
+    resolve_workload,
+)
+from repro.fleet.runner import FleetResult, run_fleet
+from repro.fleet.session import SessionResult, SessionSpec, simulate_session
+
+__all__ = [
+    "Axis",
+    "DevicePopulation",
+    "FleetAggregate",
+    "FleetResult",
+    "ResultCache",
+    "SessionResult",
+    "SessionSpec",
+    "SliceStats",
+    "aggregate_fleet",
+    "expand_population",
+    "paper_population",
+    "resolve_workload",
+    "run_fleet",
+    "simulate_session",
+]

@@ -1,0 +1,77 @@
+"""On-disk result cache: content-hash of a session spec → its result.
+
+Re-runs and incremental sweeps (more sessions, a changed axis weight
+that leaves most sampled specs identical) skip already-simulated
+sessions entirely. Entries are one JSON file per spec digest, sharded
+into two-hex-character subdirectories, written atomically (temp file +
+``os.replace``) so a crashed or concurrent run never leaves a torn
+entry behind.
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+
+
+class ResultCache:
+    """Maps :meth:`SessionSpec.digest` keys to session-result payloads."""
+
+    def __init__(self, cache_dir):
+        self.cache_dir = pathlib.Path(cache_dir)
+        if self.cache_dir.exists() and not self.cache_dir.is_dir():
+            raise ValueError(
+                f"cache path exists and is not a directory: {cache_dir}"
+            )
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key):
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def get(self, key):
+        """The cached payload dict for ``key``, or ``None``.
+
+        A corrupt (torn/truncated) entry counts as a miss and is
+        removed so the slot can be rewritten.
+        """
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key, payload):
+        """Atomically persist ``payload`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self):
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("??/*.json"))

@@ -1,0 +1,234 @@
+"""Declarative device populations: weighted scenario axes.
+
+The paper measures a handful of lab phones; a production fleet is a
+*distribution* over SoC generations, ambient thermal states, background
+load, and the model/packaging mix apps actually ship. A
+:class:`DevicePopulation` describes that distribution as independent
+weighted axes; :func:`expand_population` samples it into ``N`` concrete
+:class:`~repro.fleet.session.SessionSpec` configs, each with a root seed
+derived through ``numpy.random.SeedSequence.spawn`` (via
+:meth:`repro.sim.rng.RngStreams.spawn`) so the expansion — and every
+session simulated from it — is bit-identical regardless of execution
+order or worker count.
+"""
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.apps.harness import CONTEXTS
+from repro.apps.sessions import TARGETS
+from repro.models import MODEL_CARDS
+from repro.soc import SOC_SPECS
+
+from repro.fleet.session import SessionSpec
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One weighted scenario axis: a name and ``(value, weight)`` choices."""
+
+    name: str
+    choices: tuple
+
+    def __post_init__(self):
+        if not self.choices:
+            raise ValueError(f"axis {self.name!r} has no choices")
+        for value, weight in self.choices:
+            if weight <= 0:
+                raise ValueError(
+                    f"axis {self.name!r}: non-positive weight {weight!r} "
+                    f"for {value!r}"
+                )
+
+    @property
+    def values(self):
+        return tuple(value for value, _weight in self.choices)
+
+    def sample(self, rng):
+        """Draw one value with probability proportional to its weight.
+
+        Uses a single uniform draw against the cumulative weights so the
+        stream consumption per sample is fixed (one draw), keeping axis
+        additions from perturbing other axes' samples.
+        """
+        total = sum(weight for _value, weight in self.choices)
+        point = rng.random() * total
+        cumulative = 0.0
+        for value, weight in self.choices:
+            cumulative += weight
+            if point < cumulative:
+                return value
+        return self.choices[-1][0]
+
+
+def _axis(name, choices):
+    return Axis(name, tuple(choices))
+
+
+@dataclass(frozen=True)
+class DevicePopulation:
+    """A fleet described as independent weighted axes.
+
+    ``workload`` values are ``(model_key, dtype)`` pairs from the Table-I
+    zoo; ``background`` values are ``None`` or ``(count, target)`` tuples
+    understood by :mod:`repro.apps.background`; ``thermal`` values are
+    session-start die temperatures in °C (33 ≈ the paper's cooled-down
+    protocol, higher ≈ a device already warm in hand or pocket).
+    """
+
+    soc: Axis
+    workload: Axis
+    context: Axis
+    target: Axis
+    thermal: Axis
+    background: Axis
+    #: Inference iterations per session (first one is the cold start).
+    runs: int = 6
+
+    def __post_init__(self):
+        for soc_key in self.soc.values:
+            if soc_key not in SOC_SPECS:
+                raise ValueError(f"unknown SoC {soc_key!r}")
+        for model_key, dtype in self.workload.values:
+            if model_key not in MODEL_CARDS:
+                raise ValueError(f"unknown model {model_key!r}")
+            if dtype not in ("fp32", "int8", "fp16"):
+                raise ValueError(f"unknown dtype {dtype!r}")
+        for context in self.context.values:
+            if context not in CONTEXTS:
+                raise ValueError(f"unknown context {context!r}")
+        for target in self.target.values:
+            if target not in TARGETS:
+                raise ValueError(f"unknown target {target!r}")
+        if self.runs < 2:
+            raise ValueError(
+                f"runs must be >= 2 (the first iteration is the cold "
+                f"start; aggregation needs steady-state runs), got "
+                f"{self.runs}"
+            )
+
+    def with_runs(self, runs):
+        return replace(self, runs=runs)
+
+
+def paper_population():
+    """The default fleet: the paper's measurement space as a population.
+
+    SoC weights skew to the older generations still dominant in a real
+    installed base; the workload mix is led by quantized MobileNet v1
+    (the paper's flagship app), contexts are mostly real apps with a
+    minority of benchmark runs, and most devices start near the 33 °C
+    idle temperature with a warm/hot tail.
+    """
+    return DevicePopulation(
+        soc=_axis("soc", [
+            ("sd835", 0.30),
+            ("sd845", 0.40),
+            ("sd855", 0.20),
+            ("sd865", 0.10),
+        ]),
+        workload=_axis("workload", [
+            (("mobilenet_v1", "int8"), 0.30),
+            (("mobilenet_v1", "fp32"), 0.15),
+            (("efficientnet_lite0", "int8"), 0.15),
+            (("ssd_mobilenet_v2", "int8"), 0.10),
+            (("inception_v3", "fp32"), 0.10),
+            (("squeezenet", "fp32"), 0.10),
+            (("posenet", "fp32"), 0.10),
+        ]),
+        context=_axis("context", [
+            ("app", 0.60),
+            ("bench_app", 0.20),
+            ("cli", 0.20),
+        ]),
+        target=_axis("target", [
+            ("nnapi", 0.50),
+            ("cpu", 0.35),
+            ("cpu1", 0.15),
+        ]),
+        thermal=_axis("thermal", [
+            (33.0, 0.60),
+            (45.0, 0.30),
+            (60.0, 0.10),
+        ]),
+        background=_axis("background", [
+            (None, 0.60),
+            ((2, "cpu"), 0.25),
+            ((2, "nnapi"), 0.15),
+        ]),
+    )
+
+
+def resolve_workload(model_key, dtype, target):
+    """Clamp a sampled (model, dtype, target) triple to a supported one.
+
+    Independent axes can combine into pairs Table I rules out (e.g.
+    NasNet has no int8 variant, AlexNet no NNAPI path). Downgrade
+    deterministically — first the dtype to fp32, then the target to the
+    4-thread CPU path — so every expanded session is runnable.
+    """
+    card = MODEL_CARDS[model_key]
+    framework = "nnapi" if target == "nnapi" else "cpu"
+    if card.supports(framework, _support_dtype(dtype)):
+        return dtype, target
+    if card.supports(framework, "fp32"):
+        return "fp32", target
+    if card.supports("cpu", _support_dtype(dtype)):
+        return dtype, "cpu"
+    return "fp32", "cpu"
+
+
+def _support_dtype(dtype):
+    # Table I has fp32/int8 columns; fp16 rides the fp32 support row.
+    return "fp32" if dtype == "fp16" else dtype
+
+
+def expand_population(population, sessions, seed=0):
+    """Expand a population into ``sessions`` deterministic session specs.
+
+    One sampler generator (seeded from ``SeedSequence(seed)``) draws the
+    axis values serially; each session's own root seed comes from
+    ``RngStreams(seed).spawn(session_id)`` so simulation randomness is
+    independent per session and independent of the sampling stream.
+    """
+    from repro.sim.rng import RngStreams
+
+    if sessions < 1:
+        raise ValueError(f"sessions must be >= 1, got {sessions}")
+    # Two-level spawn key: session seeds use single-element keys
+    # ``(session_id,)``, so the sampler's key can never collide.
+    sampler = np.random.default_rng(
+        np.random.SeedSequence(int(seed) & ((1 << 128) - 1), spawn_key=(0, 0))
+    )
+    parent = RngStreams(seed)
+    specs = []
+    for session_id in range(sessions):
+        soc = population.soc.sample(sampler)
+        model_key, dtype = population.workload.sample(sampler)
+        context = population.context.sample(sampler)
+        target = population.target.sample(sampler)
+        ambient = population.thermal.sample(sampler)
+        background = population.background.sample(sampler)
+        dtype, target = resolve_workload(model_key, dtype, target)
+        if context == "cli":
+            # CLI benchmarks follow the paper's §III-D protocol: run in
+            # isolation on a device cooled to idle temperature. Apps get
+            # whatever thermal/background state the fleet dealt them.
+            # (Axes are still sampled above so the sampler stream
+            # consumption per session stays fixed.)
+            ambient = 33.0
+            background = None
+        specs.append(SessionSpec(
+            session_id=session_id,
+            soc=soc,
+            model_key=model_key,
+            dtype=dtype,
+            context=context,
+            target=target,
+            runs=population.runs,
+            seed=parent.spawn(session_id).seed,
+            ambient_celsius=float(ambient),
+            background=background,
+        ))
+    return specs

@@ -1,0 +1,98 @@
+"""Fleet execution: deterministic sharding over a worker pool + cache.
+
+The parent expands the population serially (cheap, deterministic), then
+farms cache-miss sessions out to a ``ProcessPoolExecutor``. Each session
+is an independent simulation with its own SeedSequence-derived root
+seed, so sharding is trivially safe: results are assembled back in
+session-id order and are bit-identical whatever the worker count or
+completion order. Cache hits never re-enter a worker.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.fleet.cache import ResultCache
+from repro.fleet.population import expand_population, paper_population
+from repro.fleet.session import SessionResult, simulate_session, simulate_session_payload
+
+
+@dataclass
+class FleetResult:
+    """Everything a fleet run produced, in session-id order."""
+
+    seed: int
+    workers: int
+    results: list = field(default_factory=list)
+    #: Sessions actually simulated this run (cache misses).
+    simulated: int = 0
+    #: Sessions served from the on-disk cache.
+    cache_hits: int = 0
+
+    def __len__(self):
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+
+def run_fleet(population=None, sessions=64, workers=1, seed=0,
+              cache_dir=None, runs=None):
+    """Simulate a device population; returns a :class:`FleetResult`.
+
+    Parameters
+    ----------
+    population:
+        A :class:`~repro.fleet.population.DevicePopulation`; defaults to
+        :func:`~repro.fleet.population.paper_population`.
+    sessions:
+        Number of per-device sessions to expand and simulate.
+    workers:
+        Process-pool size; ``<= 1`` runs in-process (bit-identical
+        results either way).
+    seed:
+        Root seed for both axis sampling and per-session streams.
+    cache_dir:
+        Optional directory for the content-hash result cache.
+    runs:
+        Override the population's per-session iteration count.
+    """
+    if population is None:
+        population = paper_population()
+    if runs is not None:
+        population = population.with_runs(runs)
+    specs = expand_population(population, sessions, seed=seed)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+
+    by_id = {}
+    pending = []
+    for spec in specs:
+        payload = cache.get(spec.digest()) if cache is not None else None
+        if payload is not None:
+            by_id[spec.session_id] = SessionResult.from_dict(
+                payload, from_cache=True
+            )
+        else:
+            pending.append(spec)
+
+    if workers > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            payloads = list(pool.map(
+                simulate_session_payload,
+                [spec.to_dict() for spec in pending],
+            ))
+        fresh = [SessionResult.from_dict(payload) for payload in payloads]
+    else:
+        fresh = [simulate_session(spec) for spec in pending]
+
+    for spec, result in zip(pending, fresh):
+        if cache is not None:
+            cache.put(spec.digest(), result.to_dict())
+        by_id[spec.session_id] = result
+
+    return FleetResult(
+        seed=seed,
+        workers=workers,
+        results=[by_id[spec.session_id] for spec in specs],
+        simulated=len(pending),
+        cache_hits=len(specs) - len(pending),
+    )

@@ -1,0 +1,145 @@
+"""One fleet session: a concrete, serializable simulation unit.
+
+A :class:`SessionSpec` is the fully-resolved form of one sampled device
+— everything :func:`simulate_session` needs, as plain JSON-able values,
+so it can cross a process boundary to a worker and serve as the content
+hash for the on-disk result cache. A :class:`SessionResult` carries the
+per-iteration stage latencies back, equally JSON-able, so cached and
+freshly-simulated sessions are indistinguishable bit for bit.
+"""
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from repro.core import PipelineRun, RunCollection
+
+#: Stage fields copied between PipelineRun and the serialized form.
+STAGE_FIELDS = ("capture_us", "pre_us", "inference_us", "post_us", "other_us")
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Everything that determines one session's measurements."""
+
+    session_id: int
+    soc: str
+    model_key: str
+    dtype: str
+    context: str
+    target: str
+    runs: int
+    seed: int
+    ambient_celsius: float
+    #: ``None`` or ``(count, target)`` of background inference jobs.
+    background: tuple
+
+    def to_config(self):
+        """The equivalent :class:`~repro.apps.harness.PipelineConfig`."""
+        from repro.apps import PipelineConfig
+
+        return PipelineConfig(
+            model_key=self.model_key,
+            dtype=self.dtype,
+            context=self.context,
+            target=self.target,
+            runs=self.runs,
+            soc=self.soc,
+            seed=self.seed,
+            ambient_celsius=self.ambient_celsius,
+            background=self.background,
+        )
+
+    def to_dict(self):
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload):
+        cleaned = dict(payload)
+        if cleaned.get("background") is not None:
+            cleaned["background"] = tuple(cleaned["background"])
+        return cls(**cleaned)
+
+    def digest(self):
+        """Content hash of the spec — the result-cache key.
+
+        Canonical JSON (sorted keys) so the digest is stable across
+        Python versions and dict insertion orders.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class SessionResult:
+    """Per-iteration stage latencies of one simulated session."""
+
+    spec: SessionSpec
+    #: One dict per iteration, keys :data:`STAGE_FIELDS`, simulated µs.
+    runs: list
+    from_cache: bool = False
+
+    @property
+    def cold_run(self):
+        """The first (cold-start) iteration."""
+        return self.runs[0]
+
+    @property
+    def steady_runs(self):
+        """Iterations after the cold start."""
+        return self.runs[1:]
+
+    @staticmethod
+    def total_us(run):
+        return sum(run[fieldname] for fieldname in STAGE_FIELDS)
+
+    @staticmethod
+    def tax_us(run):
+        return SessionResult.total_us(run) - run["inference_us"]
+
+    def to_collection(self):
+        """A :class:`~repro.core.RunCollection` view for existing analyses."""
+        collection = RunCollection(
+            name=f"fleet:{self.spec.session_id}:{self.spec.model_key}"
+        )
+        for run in self.runs:
+            collection.add(PipelineRun(**{
+                fieldname: run[fieldname] for fieldname in STAGE_FIELDS
+            }))
+        return collection
+
+    def to_dict(self):
+        return {"spec": self.spec.to_dict(), "runs": self.runs}
+
+    @classmethod
+    def from_dict(cls, payload, from_cache=False):
+        return cls(
+            spec=SessionSpec.from_dict(payload["spec"]),
+            runs=[dict(run) for run in payload["runs"]],
+            from_cache=from_cache,
+        )
+
+
+def simulate_session(spec):
+    """Simulate one session end to end; returns a :class:`SessionResult`.
+
+    Pure function of the spec: same spec, same result, on any worker.
+    """
+    from repro.apps import run_pipeline
+
+    records = run_pipeline(spec.to_config())
+    runs = [
+        {fieldname: getattr(run, fieldname) for fieldname in STAGE_FIELDS}
+        for run in records
+    ]
+    return SessionResult(spec=spec, runs=runs)
+
+
+def simulate_session_payload(payload):
+    """Dict-in/dict-out wrapper of :func:`simulate_session`.
+
+    Top-level so :class:`concurrent.futures.ProcessPoolExecutor` can
+    pickle it by reference for worker processes.
+    """
+    result = simulate_session(SessionSpec.from_dict(payload))
+    return result.to_dict()

@@ -35,3 +35,27 @@ class RngStreams:
         """A new :class:`RngStreams` with an independent derived seed."""
         digest = hashlib.sha256(f"{self.seed}/fork:{salt}".encode()).digest()
         return RngStreams(int.from_bytes(digest[:8], "little"))
+
+    def spawn(self, session_id):
+        """A new :class:`RngStreams` for fleet session ``session_id``.
+
+        Derivation goes through :class:`numpy.random.SeedSequence` with
+        ``spawn_key=(session_id,)``, so children are provably independent
+        (in the SeedSequence sense) of each other and of the parent — the
+        guarantee fleet simulation needs so per-session results are
+        bit-identical regardless of execution order or worker count.
+
+        Named-stream derivation inside the child is unchanged (sha256 of
+        ``"{seed}:{name}"``), keeping existing seed-state byte-compatible.
+        """
+        session_id = int(session_id)
+        if session_id < 0:
+            raise ValueError(f"negative session id: {session_id}")
+        # SeedSequence entropy must be non-negative; mask negatives into
+        # the same 128-bit space deterministically.
+        entropy = self.seed & ((1 << 128) - 1)
+        sequence = np.random.SeedSequence(entropy, spawn_key=(session_id,))
+        child_seed = int.from_bytes(
+            sequence.generate_state(4, np.uint32).tobytes(), "little"
+        )
+        return RngStreams(child_seed)

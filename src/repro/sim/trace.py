@@ -6,6 +6,7 @@ utilization, cDSP activity, and context switches over time. The
 so that :mod:`repro.experiments.fig6` can regenerate that profile.
 """
 
+import math
 from dataclasses import dataclass, field
 
 
@@ -25,7 +26,7 @@ class Span:
 
     @property
     def closed(self):
-        return self.end == self.end  # NaN check without importing math
+        return not math.isnan(self.end)
 
 
 class TraceRecorder:

@@ -1,0 +1,65 @@
+"""Fleet determinism: sharding and caching must not change results."""
+
+from repro.fleet import aggregate_fleet, run_fleet
+
+
+def _dicts(fleet):
+    return [result.to_dict() for result in fleet]
+
+
+def test_worker_count_does_not_change_results():
+    """64 sessions, 1 vs 4 workers: bit-identical measurements."""
+    serial = run_fleet(sessions=64, workers=1, seed=0, runs=4)
+    parallel = run_fleet(sessions=64, workers=4, seed=0, runs=4)
+    assert _dicts(serial) == _dicts(parallel)
+
+    rendered_serial = aggregate_fleet(serial).to_experiment_result().render()
+    rendered_parallel = (
+        aggregate_fleet(parallel).to_experiment_result().render()
+    )
+    assert rendered_serial == rendered_parallel
+
+
+def test_warm_cache_returns_identical_results_without_simulating(tmp_path):
+    cache_dir = tmp_path / "fleet-cache"
+    cold = run_fleet(sessions=64, workers=2, seed=0, runs=4,
+                     cache_dir=str(cache_dir))
+    assert cold.simulated == 64
+    assert cold.cache_hits == 0
+
+    warm = run_fleet(sessions=64, workers=2, seed=0, runs=4,
+                     cache_dir=str(cache_dir))
+    assert warm.simulated == 0
+    assert warm.cache_hits == 64
+    assert _dicts(cold) == _dicts(warm)
+    assert all(result.from_cache for result in warm)
+
+    rendered_cold = aggregate_fleet(cold).to_experiment_result().render()
+    rendered_warm = aggregate_fleet(warm).to_experiment_result().render()
+    assert rendered_cold == rendered_warm
+
+
+def test_cached_results_match_uncached(tmp_path):
+    cached = run_fleet(sessions=12, workers=1, seed=3, runs=3,
+                       cache_dir=str(tmp_path / "cache"))
+    plain = run_fleet(sessions=12, workers=1, seed=3, runs=3)
+    assert _dicts(cached) == _dicts(plain)
+
+
+def test_incremental_sweep_reuses_prefix_sessions(tmp_path):
+    """Growing a fleet re-simulates only the new sessions."""
+    cache_dir = str(tmp_path / "cache")
+    small = run_fleet(sessions=8, workers=1, seed=0, runs=3,
+                      cache_dir=cache_dir)
+    assert small.simulated == 8
+    grown = run_fleet(sessions=16, workers=1, seed=0, runs=3,
+                      cache_dir=cache_dir)
+    assert grown.cache_hits == 8
+    assert grown.simulated == 8
+    assert _dicts(grown)[:8] == _dicts(small)
+
+
+def test_different_seeds_differ():
+    one = run_fleet(sessions=8, workers=1, seed=0, runs=3)
+    two = run_fleet(sessions=8, workers=1, seed=1, runs=3)
+    assert _dicts(one) != _dicts(two)

@@ -1,0 +1,135 @@
+"""Population axes, expansion, session specs, and the result cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    Axis,
+    ResultCache,
+    SessionSpec,
+    expand_population,
+    paper_population,
+    resolve_workload,
+    simulate_session,
+)
+from repro.models import MODEL_CARDS
+
+
+def test_axis_rejects_empty_and_nonpositive_weights():
+    with pytest.raises(ValueError):
+        Axis("empty", ())
+    with pytest.raises(ValueError):
+        Axis("bad", (("a", 0.0),))
+
+
+def test_axis_sampling_follows_weights():
+    axis = Axis("x", (("heavy", 9.0), ("light", 1.0)))
+    rng = np.random.default_rng(0)
+    draws = [axis.sample(rng) for _ in range(2000)]
+    heavy = draws.count("heavy") / len(draws)
+    assert 0.85 < heavy < 0.95
+
+
+def test_expansion_is_deterministic_and_prefix_stable():
+    population = paper_population()
+    first = expand_population(population, 32, seed=5)
+    second = expand_population(population, 32, seed=5)
+    assert first == second
+    longer = expand_population(population, 48, seed=5)
+    assert longer[:32] == first
+    other_seed = expand_population(population, 32, seed=6)
+    assert other_seed != first
+
+
+def test_expanded_sessions_have_distinct_independent_seeds():
+    specs = expand_population(paper_population(), 64, seed=0)
+    seeds = [spec.seed for spec in specs]
+    assert len(set(seeds)) == len(seeds)
+    assert [spec.session_id for spec in specs] == list(range(64))
+
+
+def test_expansion_only_yields_supported_workloads():
+    specs = expand_population(paper_population(), 128, seed=1)
+    for spec in specs:
+        card = MODEL_CARDS[spec.model_key]
+        framework = "nnapi" if spec.target == "nnapi" else "cpu"
+        assert card.supports(framework, spec.dtype)
+
+
+def test_cli_sessions_follow_benchmark_protocol():
+    """CLI benchmarks run isolated on a cooled device (paper §III-D)."""
+    specs = expand_population(paper_population(), 128, seed=0)
+    cli = [spec for spec in specs if spec.context == "cli"]
+    assert cli, "expected some cli sessions in 128 draws"
+    assert all(spec.background is None for spec in cli)
+    assert all(spec.ambient_celsius == 33.0 for spec in cli)
+
+
+def test_resolve_workload_downgrades_unsupported_combos():
+    # NasNet has no int8 variant: dtype downgrades, target survives.
+    assert resolve_workload("nasnet_mobile", "int8", "cpu") == ("fp32", "cpu")
+    # AlexNet has no NNAPI path at all: falls back to the CPU target.
+    dtype, target = resolve_workload("alexnet", "fp32", "nnapi")
+    assert target == "cpu"
+    # Fully supported combos pass through untouched.
+    assert resolve_workload("mobilenet_v1", "int8", "nnapi") == (
+        "int8", "nnapi"
+    )
+
+
+def test_spec_digest_stable_and_sensitive():
+    spec = expand_population(paper_population(), 1, seed=0)[0]
+    clone = SessionSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert clone == spec
+    assert clone.digest() == spec.digest()
+    bumped = SessionSpec.from_dict({**spec.to_dict(), "seed": spec.seed + 1})
+    assert bumped.digest() != spec.digest()
+
+
+def test_session_result_roundtrips_through_json():
+    spec = expand_population(paper_population().with_runs(3), 1, seed=2)[0]
+    result = simulate_session(spec)
+    assert len(result.runs) == 3
+    payload = json.loads(json.dumps(result.to_dict()))
+    from repro.fleet import SessionResult
+
+    rebuilt = SessionResult.from_dict(payload, from_cache=True)
+    assert rebuilt.spec == spec
+    assert rebuilt.runs == result.runs
+    assert rebuilt.from_cache
+
+
+def test_ambient_start_slows_throttled_sessions():
+    """A session starting hot must not run faster than a cool one."""
+    base = expand_population(paper_population().with_runs(4), 1, seed=0)[0]
+    cool = SessionSpec.from_dict({
+        **base.to_dict(), "context": "app", "target": "cpu",
+        "background": None, "ambient_celsius": 33.0,
+    })
+    hot = SessionSpec.from_dict({
+        **cool.to_dict(), "ambient_celsius": 80.0,
+    })
+    cool_total = sum(map(cool_run_total, simulate_session(cool).runs))
+    hot_total = sum(map(cool_run_total, simulate_session(hot).runs))
+    assert hot_total >= cool_total
+
+
+def cool_run_total(run):
+    from repro.fleet import SessionResult
+
+    return SessionResult.total_us(run)
+
+
+def test_cache_handles_missing_and_corrupt_entries(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.get("ab" + "0" * 62) is None
+    cache.put("ab" + "0" * 62, {"hello": 1})
+    assert cache.get("ab" + "0" * 62) == {"hello": 1}
+    assert len(cache) == 1
+    # Corrupt the entry: it must read as a miss and be evicted.
+    path = cache._path("ab" + "0" * 62)
+    path.write_text("{not json")
+    assert cache.get("ab" + "0" * 62) is None
+    assert not path.exists()

@@ -120,6 +120,41 @@ def test_rng_streams_differ_across_seeds_and_names():
     assert fresh["x"].random(4).tolist() != fresh["y"].random(4).tolist()
 
 
+def test_rng_spawn_deterministic_and_independent():
+    parent = RngStreams(seed=7)
+    child_a = parent.spawn(0)
+    child_b = parent.spawn(1)
+    again = RngStreams(seed=7).spawn(0)
+    # Same (seed, session_id) -> identical child; siblings differ.
+    assert child_a.seed == again.seed
+    assert child_a.seed != child_b.seed
+    assert child_a["x"].random(4).tolist() == again["x"].random(4).tolist()
+    assert child_a["x"].random(4).tolist() != child_b["x"].random(4).tolist()
+    # Spawning never perturbs the parent's own named streams.
+    untouched = RngStreams(seed=7)
+    assert parent["x"].random(4).tolist() == untouched["x"].random(4).tolist()
+
+
+def test_rng_spawn_handles_negative_parent_seed_and_rejects_bad_ids():
+    import pytest
+
+    assert RngStreams(seed=-3).spawn(2).seed == RngStreams(seed=-3).spawn(2).seed
+    with pytest.raises(ValueError):
+        RngStreams(seed=0).spawn(-1)
+
+
+def test_span_closed_handles_nan_end():
+    """Regression: Span.closed must flag NaN-ended (open) spans."""
+    from repro.sim.trace import Span
+
+    open_span = Span(track="cpu0", label="work", start=1.0)
+    assert not open_span.closed
+    closed_span = Span(track="cpu0", label="work", start=1.0, end=4.0)
+    assert closed_span.closed
+    zero_length = Span(track="cpu0", label="tick", start=2.0, end=2.0)
+    assert zero_length.closed
+
+
 def test_trace_utilization_merges_overlaps():
     sim = Simulator(trace=True)
     trace = sim.trace

@@ -82,6 +82,23 @@ def test_config_unknown_key_rejected():
         config_from_dict({"model": "mobilenet_v1"})
 
 
+def test_fleet_command(tmp_path, capsys):
+    cache_dir = str(tmp_path / "fleet-cache")
+    argv = [
+        "fleet", "--sessions", "8", "--workers", "2", "--seed", "0",
+        "--runs", "3", "--cache-dir", cache_dir,
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "[fleet_percentiles]" in out
+    assert "simulated: 8" in out
+    # Warm cache: the second invocation simulates nothing.
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "simulated: 0" in out
+    assert "cache hits: 8" in out
+
+
 def test_summary_command(capsys):
     assert main(["summary"]) == 0
     out = capsys.readouterr().out
