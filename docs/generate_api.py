@@ -5,29 +5,55 @@ Walks ``repro``'s subpackages, extracts module docstrings and the
 signatures + first docstring paragraphs of public classes and functions,
 and writes a browsable markdown API reference.
 
-Run:  python docs/generate_api.py
+The output is deterministic — modules, members, and methods are emitted
+in sorted order and memory addresses are scrubbed from reprs — so CI
+can diff a fresh run against the committed file. The script is
+self-locating (it puts ``src/`` on ``sys.path`` itself), needs no
+display, network, or installed package, and must keep working on a bare
+``python docs/generate_api.py``.
+
+Run:   python docs/generate_api.py
+Check: python docs/generate_api.py --check   (exit 1 when api.md is stale)
+
+CI runs ``--check`` on the Python version pinned in the ``docs`` job of
+``.github/workflows/ci.yml`` (signature reprs can drift across minor
+versions); regenerate with that version when the check disagrees with
+your local run.
 """
 
+import argparse
 import importlib
 import inspect
 import pathlib
 import pkgutil
+import re
+import sys
 
-import repro
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+import repro  # noqa: E402  (needs the sys.path insert above)
 
 SKIP_MODULES = {"repro.__main__"}
+
+#: Default-value reprs that embed a memory address (`<object at 0x...>`)
+#: would differ run to run; scrub the address, keep the type.
+_ADDRESS = re.compile(r" at 0x[0-9a-fA-F]+")
+
+
+def _scrub(text):
+    return _ADDRESS.sub("", text)
 
 
 def first_paragraph(obj):
     doc = inspect.getdoc(obj)
     if not doc:
         return ""
-    return doc.split("\n\n")[0].replace("\n", " ")
+    return _scrub(doc.split("\n\n")[0].replace("\n", " "))
 
 
 def describe_callable(name, obj):
     try:
-        signature = str(inspect.signature(obj))
+        signature = _scrub(str(inspect.signature(obj)))
     except (TypeError, ValueError):
         signature = "(...)"
     summary = first_paragraph(obj)
@@ -51,10 +77,18 @@ def describe_class(name, cls):
 
 
 def iter_modules():
-    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
-        if info.name in SKIP_MODULES:
+    seen = set()
+    for info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro.", onerror=_walk_error
+    ):
+        if info.name in SKIP_MODULES or info.name in seen:
             continue
+        seen.add(info.name)
         yield info.name
+
+
+def _walk_error(name):
+    raise ImportError(f"failed to import {name} while walking repro.*")
 
 
 def generate():
@@ -84,15 +118,33 @@ def generate():
             elif inspect.isfunction(obj):
                 lines.append(describe_callable(name, obj))
         lines.append("")
-    return "\n".join(lines)
+    return "\n".join(lines) + "\n"
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if docs/api.md differs from a fresh generation",
+    )
+    args = parser.parse_args(argv)
     output = pathlib.Path(__file__).resolve().parent / "api.md"
     text = generate()
-    output.write_text(text)
+    if args.check:
+        current = output.read_text() if output.exists() else ""
+        if current != text:
+            print(
+                f"{output} is stale: regenerate it with "
+                "`python docs/generate_api.py` and commit the result",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{output} is up to date")
+        return 0
+    output.write_text(text, newline="\n")
     print(f"wrote {output} ({len(text.splitlines())} lines)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.android import params
 from repro.android.thread import Sleep, WaitFor, Work
+from repro.observability.probes import probe
 
 
 @dataclass
@@ -80,11 +81,13 @@ class FastRpcChannel:
         if self._session_open:
             return
         start = self.kernel.now
-        yield from self.kernel.syscall(label="fastrpc:open")
-        if self.dsp.map_process(self.process_id):
-            # Remote loader + SMMU mapping run on the DSP side; the CPU
-            # thread blocks while holding nothing.
-            yield Sleep(params.FASTRPC_SESSION_OPEN_US)
+        with probe(self.kernel, "fastrpc", "open_session",
+                   process=self.process_id):
+            yield from self.kernel.syscall(label="fastrpc:open")
+            if self.dsp.map_process(self.process_id):
+                # Remote loader + SMMU mapping run on the DSP side; the
+                # CPU thread blocks while holding nothing.
+                yield Sleep(params.FASTRPC_SESSION_OPEN_US)
         self._session_open = True
         self.stats.session_opens += 1
         self.stats.session_open_us += self.kernel.now - start
@@ -102,73 +105,103 @@ class FastRpcChannel:
             yield from self.open_session()
         self.stats.calls += 1
 
-        # User side: marshal arguments.
-        yield Work(params.FASTRPC_MARSHAL_US, label=f"fastrpc:{label}:marshal")
-        self.stats.marshal_us += params.FASTRPC_MARSHAL_US
-
-        # Kernel entry + cache clean so the DSP sees our writes. The
-        # flush is CPU work (cache maintenance by VA runs on the core).
-        yield Work(params.IOCTL_US, label=f"fastrpc:{label}:ioctl")
-        self.stats.kernel_us += params.IOCTL_US
-        if self.dsp.coupling == "loose":
-            flush_us = memory.cache_flush_us(input_bytes)
-            yield Work(flush_us, label=f"fastrpc:{label}:flush")
-            self.stats.cache_flush_us += flush_us
-
-        # Signal the DSP and wait in its queue (capacity-1 device).
-        yield Sleep(params.FASTRPC_SIGNAL_US)
-        self.stats.signal_us += params.FASTRPC_SIGNAL_US
-        queue_start = self.kernel.now
-        request = self.dsp.resource.request()
-        if self.queue_timeout_us is not None:
-            deadline = sim.timeout(self.queue_timeout_us)
-            yield WaitFor(sim.any_of([request, deadline]))
-            if not request.granted:
-                # Driver timeout: withdraw from the queue and fail the
-                # call; the kernel exit path is still charged.
-                request.release()
-                self.stats.dsp_queue_us += self.kernel.now - queue_start
-                yield Work(params.IOCTL_US, label=f"fastrpc:{label}:etimedout")
-                self.stats.kernel_us += params.IOCTL_US
-                raise FastRpcTimeout(
-                    f"DSP busy for {self.queue_timeout_us:.0f}us "
-                    f"(queue depth {self.dsp.resource.queue_length})"
+        # The Fig. 7 call flow, each stage a nested span on the
+        # "fastrpc" track (probes are no-ops when tracing is off).
+        with probe(sim, "fastrpc", f"invoke:{label}",
+                   process=self.process_id, input_bytes=input_bytes,
+                   output_bytes=output_bytes):
+            # User side: marshal arguments.
+            with probe(sim, "fastrpc", "user:marshal"):
+                yield Work(
+                    params.FASTRPC_MARSHAL_US,
+                    label=f"fastrpc:{label}:marshal",
                 )
-        else:
-            yield WaitFor(request)
-        self.stats.dsp_queue_us += self.kernel.now - queue_start
-        try:
-            # Move inputs over AXI into VTCM, compute, move outputs back.
-            if self.dsp.coupling == "loose":
-                in_transfer = memory.axi_transfer_us(input_bytes)
-                yield Sleep(in_transfer)
-                self.stats.transfer_us += in_transfer
-            span = None
-            if sim.trace is not None:
-                span = sim.trace.begin("cdsp", label, process=self.process_id)
-            yield Sleep(params.FASTRPC_DSP_DISPATCH_US + dsp_compute_us)
-            if span is not None:
-                sim.trace.end(span)
-            self.soc.energy.add_dsp_busy(
-                params.FASTRPC_DSP_DISPATCH_US + dsp_compute_us
-            )
-            self.stats.dsp_compute_us += dsp_compute_us
-            if self.dsp.coupling == "loose":
-                out_transfer = memory.axi_transfer_us(output_bytes)
-                yield Sleep(out_transfer)
-                self.stats.transfer_us += out_transfer
-        finally:
-            request.release()
+            self.stats.marshal_us += params.FASTRPC_MARSHAL_US
 
-        # DSP -> CPU completion signal, kernel exit, invalidate outputs.
-        yield Sleep(params.FASTRPC_SIGNAL_US)
-        self.stats.signal_us += params.FASTRPC_SIGNAL_US
-        if self.dsp.coupling == "loose":
-            invalidate_us = memory.cache_flush_us(output_bytes)
-            yield Work(invalidate_us, label=f"fastrpc:{label}:invalidate")
-            self.stats.cache_flush_us += invalidate_us
-        yield Work(params.IOCTL_US, label=f"fastrpc:{label}:ret")
-        self.stats.kernel_us += params.IOCTL_US
+            # Kernel entry + cache clean so the DSP sees our writes. The
+            # flush is CPU work (cache maintenance by VA runs on the core).
+            with probe(sim, "fastrpc", "kernel:ioctl"):
+                yield Work(params.IOCTL_US, label=f"fastrpc:{label}:ioctl")
+            self.stats.kernel_us += params.IOCTL_US
+            if self.dsp.coupling == "loose":
+                flush_us = memory.cache_flush_us(input_bytes)
+                with probe(sim, "fastrpc", "kernel:cache_flush"):
+                    yield Work(flush_us, label=f"fastrpc:{label}:flush")
+                self.stats.cache_flush_us += flush_us
+
+            # Signal the DSP and wait in its queue (capacity-1 device).
+            yield Sleep(params.FASTRPC_SIGNAL_US)
+            self.stats.signal_us += params.FASTRPC_SIGNAL_US
+            queue_start = self.kernel.now
+            request = self.dsp.resource.request()
+            with probe(sim, "fastrpc", "dsp:queue",
+                       depth=self.dsp.resource.queue_length):
+                if self.queue_timeout_us is not None:
+                    deadline = sim.timeout(self.queue_timeout_us)
+                    yield WaitFor(sim.any_of([request, deadline]))
+                    if not request.granted:
+                        # Driver timeout: withdraw from the queue and
+                        # fail the call; the kernel exit path is still
+                        # charged.
+                        request.release()
+                        self.stats.dsp_queue_us += (
+                            self.kernel.now - queue_start
+                        )
+                        yield Work(
+                            params.IOCTL_US,
+                            label=f"fastrpc:{label}:etimedout",
+                        )
+                        self.stats.kernel_us += params.IOCTL_US
+                        raise FastRpcTimeout(
+                            f"DSP busy for {self.queue_timeout_us:.0f}us "
+                            f"(queue depth {self.dsp.resource.queue_length})"
+                        )
+                else:
+                    yield WaitFor(request)
+            self.stats.dsp_queue_us += self.kernel.now - queue_start
+            try:
+                # Move inputs over AXI into VTCM, compute, move outputs
+                # back.
+                if self.dsp.coupling == "loose":
+                    in_transfer = memory.axi_transfer_us(input_bytes)
+                    with probe(sim, "fastrpc", "axi:input_transfer"):
+                        yield Sleep(in_transfer)
+                    self.stats.transfer_us += in_transfer
+                span = None
+                if sim.trace is not None:
+                    span = sim.trace.begin(
+                        "cdsp", label, process=self.process_id
+                    )
+                with probe(sim, "fastrpc", "dsp:dispatch_compute"):
+                    yield Sleep(params.FASTRPC_DSP_DISPATCH_US + dsp_compute_us)
+                if span is not None:
+                    sim.trace.end(span)
+                self.soc.energy.add_dsp_busy(
+                    params.FASTRPC_DSP_DISPATCH_US + dsp_compute_us
+                )
+                self.stats.dsp_compute_us += dsp_compute_us
+                if self.dsp.coupling == "loose":
+                    out_transfer = memory.axi_transfer_us(output_bytes)
+                    with probe(sim, "fastrpc", "axi:output_transfer"):
+                        yield Sleep(out_transfer)
+                    self.stats.transfer_us += out_transfer
+            finally:
+                request.release()
+
+            # DSP -> CPU completion signal, kernel exit, invalidate
+            # outputs.
+            yield Sleep(params.FASTRPC_SIGNAL_US)
+            self.stats.signal_us += params.FASTRPC_SIGNAL_US
+            if self.dsp.coupling == "loose":
+                invalidate_us = memory.cache_flush_us(output_bytes)
+                with probe(sim, "fastrpc", "kernel:cache_invalidate"):
+                    yield Work(
+                        invalidate_us, label=f"fastrpc:{label}:invalidate"
+                    )
+                self.stats.cache_flush_us += invalidate_us
+            with probe(sim, "fastrpc", "kernel:ioctl_return"):
+                yield Work(params.IOCTL_US, label=f"fastrpc:{label}:ret")
+            self.stats.kernel_us += params.IOCTL_US
 
         return self.kernel.now - start
 

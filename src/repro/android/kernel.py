@@ -36,6 +36,10 @@ from repro.android.thread import (
 _GOVERNOR_WINDOW_US = 4_000.0
 #: Thermal model sampling window.
 _THERMAL_WINDOW_US = 50_000.0
+#: Trace counter-sampling window (die temperature, runqueue depth).
+#: Offset from the governor window so samples never tie with governor
+#: events at the same timestamp.
+_TRACE_SAMPLE_WINDOW_US = 5_000.0
 #: Floor for core speed so a throttled core still makes progress.
 _MIN_SPEED = 0.01
 
@@ -53,6 +57,7 @@ class Kernel:
         self._core_busy = {core.core_id: 0.0 for core in soc.cores}
         self._total_busy = 0.0
         self._rng = sim.rng.stream("sched")
+        self._next_pid = 1000
         # Start dispatch loops fastest-core-first so work queued before
         # the first simulation step lands on the big cluster.
         for core in sorted(soc.cores, key=lambda c: -c.perf_index):
@@ -64,10 +69,23 @@ class Kernel:
                 )
         if enable_thermal:
             sim.process(self._thermal_loop(), name="thermal")
+        if sim.trace is not None:
+            sim.process(self._trace_sampler_loop(), name="trace-sampler")
 
     @property
     def now(self):
         return self.sim.now
+
+    def allocate_pid(self):
+        """Deterministic process-id allocation, fresh per simulation.
+
+        Pids end up in trace metadata, so they must not come from
+        interpreter state (``id()``, module counters) — identical runs
+        must export byte-identical traces.
+        """
+        pid = self._next_pid
+        self._next_pid += 1
+        return pid
 
     # -- thread lifecycle ------------------------------------------------
 
@@ -203,6 +221,12 @@ class Kernel:
                 thread.penalty_work += params.MIGRATION_PENALTY_US
                 if sim.trace is not None:
                     sim.trace.count("migration")
+                    sim.trace.mark(
+                        "migration",
+                        thread=thread.name,
+                        from_core=thread.last_core_id,
+                        to_core=core.core_id,
+                    )
             core.current_thread = thread
             thread.last_core_id = core.core_id
 
@@ -277,6 +301,17 @@ class Kernel:
                 self.sim.trace.count(
                     f"freq:{cluster.name}", cluster.governor.current_khz
                 )
+
+    def _trace_sampler_loop(self):
+        # Counter tracks for the Chrome-trace export: die temperature
+        # and global runqueue depth, sampled on their own window so the
+        # "C" events are dense enough to plot but never perturb the
+        # schedule (the loop only reads state).
+        trace = self.sim.trace
+        while True:
+            yield self.sim.timeout(_TRACE_SAMPLE_WINDOW_US)
+            trace.count("temp_c", self.soc.thermal.temperature)
+            trace.count("runqueue", len(self._runqueue))
 
     def _thermal_loop(self):
         # Die heating is dominated by the big cluster (its cores draw

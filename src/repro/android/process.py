@@ -6,13 +6,9 @@ collector whose pauses stall the app's threads at random points, one of
 the app-only variability sources behind the paper's Fig. 11.
 """
 
-import itertools
-
 from repro.android import params
 from repro.android.fastrpc import FastRpcChannel
 from repro.android.thread import Sleep, Work
-
-_pids = itertools.count(1000)
 
 
 class AppProcess:
@@ -21,7 +17,7 @@ class AppProcess:
     def __init__(self, kernel, name, managed_runtime=False):
         self.kernel = kernel
         self.name = name
-        self.pid = next(_pids)
+        self.pid = kernel.allocate_pid()
         self.managed_runtime = managed_runtime
         self.threads = []
         self.fastrpc = FastRpcChannel(kernel, process_id=self.pid)

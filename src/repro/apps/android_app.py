@@ -15,6 +15,7 @@ from repro.apps.sessions import make_session
 from repro.capture import CameraHal
 from repro.core.measurement import PipelineRun, RunCollection
 from repro.models import load_model, model_card
+from repro.observability.probes import probe
 from repro.processing import build_postprocess_plan, build_preprocessor
 
 
@@ -95,18 +96,29 @@ class AndroidApp:
     def body(self, runs):
         self.start()
         kernel = self.kernel
-        yield from self.session.prepare()
+        # Stage spans on the "pipeline" track mirror the PipelineRun
+        # boundaries exactly, so the exported trace and the breakdown
+        # tables attribute the same microseconds to the same stages.
+        with probe(kernel, "pipeline", "prepare", model=self.model_key):
+            yield from self.session.prepare()
         for index in range(runs):
             start = kernel.now
-            yield from self._capture()
+            with probe(kernel, "pipeline", "data_capture", iteration=index):
+                yield from self._capture()
             t_capture = kernel.now
-            yield Work(self._pre_cost_us, label="app:pre")
+            with probe(kernel, "pipeline", "pre_processing",
+                       iteration=index):
+                yield Work(self._pre_cost_us, label="app:pre")
             t_pre = kernel.now
-            yield from self.session.invoke()
+            with probe(kernel, "pipeline", "inference", iteration=index):
+                yield from self.session.invoke()
             t_infer = kernel.now
-            yield Work(self.post_plan.cost_us, label="app:post")
+            with probe(kernel, "pipeline", "post_processing",
+                       iteration=index):
+                yield Work(self.post_plan.cost_us, label="app:post")
             t_post = kernel.now
-            yield from self._render()
+            with probe(kernel, "pipeline", "other", iteration=index):
+                yield from self._render()
             t_end = kernel.now
             self.records.add(
                 PipelineRun(

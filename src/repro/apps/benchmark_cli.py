@@ -13,6 +13,7 @@ from repro.android.thread import Work
 from repro.apps.sessions import make_session
 from repro.core.measurement import PipelineRun, RunCollection
 from repro.models import load_model, model_card
+from repro.observability.probes import probe
 from repro.processing import build_postprocess_plan, build_preprocessor
 from repro.processing.costs import random_input_cost_us
 
@@ -78,20 +79,28 @@ class BenchmarkCli:
             start_interference(self.kernel, self._interference)
             self._interference_started = True
         kernel = self.kernel
-        yield from self.session.prepare()
+        with probe(kernel, "pipeline", "prepare", model=self.model_key):
+            yield from self.session.prepare()
         for index in range(runs):
             start = kernel.now
-            yield from self._capture()
+            with probe(kernel, "pipeline", "data_capture", iteration=index):
+                yield from self._capture()
             t_capture = kernel.now
-            if self.pre_plan.cost_us > 0:
-                yield Work(self.pre_plan.cost_us, label="bench:pre")
+            with probe(kernel, "pipeline", "pre_processing",
+                       iteration=index):
+                if self.pre_plan.cost_us > 0:
+                    yield Work(self.pre_plan.cost_us, label="bench:pre")
             t_pre = kernel.now
-            yield from self.session.invoke()
+            with probe(kernel, "pipeline", "inference", iteration=index):
+                yield from self.session.invoke()
             t_infer = kernel.now
-            if self.post_plan.cost_us > 0:
-                yield Work(self.post_plan.cost_us, label="bench:post")
+            with probe(kernel, "pipeline", "post_processing",
+                       iteration=index):
+                if self.post_plan.cost_us > 0:
+                    yield Work(self.post_plan.cost_us, label="bench:post")
             t_post = kernel.now
-            yield from self._other()
+            with probe(kernel, "pipeline", "other", iteration=index):
+                yield from self._other()
             t_end = kernel.now
             self.records.add(
                 PipelineRun(

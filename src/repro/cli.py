@@ -14,6 +14,10 @@ Commands
 ``fleet``
     Simulate a device population in parallel and print fleet-level
     AI-tax percentiles.
+``trace``
+    Record a named scenario with full instrumentation, print the
+    self-time rollup, and export Chrome trace-event JSON for
+    chrome://tracing / Perfetto (see docs/tracing.md).
 ``report``
     Regenerate everything (the EXPERIMENTS.md content).
 """
@@ -126,6 +130,32 @@ def _cmd_fleet(args):
     return 0
 
 
+def _cmd_trace(args):
+    from repro.observability import (
+        record_trace,
+        summarize_trace,
+        write_chrome_trace,
+    )
+
+    session = record_trace(
+        args.scenario, runs=args.runs, seed=args.seed, soc=args.soc
+    )
+    trace = session.sim.trace
+    print(summarize_trace(trace).render(top=args.top))
+    events = write_chrome_trace(
+        trace,
+        args.out,
+        process_name=f"repro:{args.scenario}",
+        min_dur_us=args.min_dur_us,
+    )
+    print(
+        f"\nwrote {args.out} ({events} events, "
+        f"{session.sim.now / 1000.0:.1f} ms simulated)"
+    )
+    print("open it at https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def _cmd_report(args):
     order = sorted(REGISTRY)
     for experiment_id in order:
@@ -209,6 +239,36 @@ def build_parser():
         help="inference iterations per session (default: population's)",
     )
 
+    from repro.observability.scenarios import SCENARIOS
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="record a scenario and export a Chrome trace "
+             "(docs/tracing.md)",
+    )
+    trace_parser.add_argument("scenario", choices=sorted(SCENARIOS))
+    trace_parser.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="Chrome trace-event JSON output path (default: trace.json)",
+    )
+    trace_parser.add_argument(
+        "--runs", type=int, default=None,
+        help="override the scenario's iteration count",
+    )
+    trace_parser.add_argument("--seed", type=int, default=None)
+    trace_parser.add_argument(
+        "--soc", default=None, choices=sorted(SOC_SPECS),
+        help="override the scenario's platform",
+    )
+    trace_parser.add_argument(
+        "--top", type=int, default=5,
+        help="labels shown per track in the self-time rollup",
+    )
+    trace_parser.add_argument(
+        "--min-dur-us", type=float, default=0.0,
+        help="drop spans shorter than this from the export",
+    )
+
     report_parser = sub.add_parser("report", help="regenerate everything")
     report_parser.add_argument("--fast", action="store_true")
     return parser
@@ -221,6 +281,7 @@ _HANDLERS = {
     "run": _cmd_run,
     "experiment": _cmd_experiment,
     "fleet": _cmd_fleet,
+    "trace": _cmd_trace,
     "report": _cmd_report,
 }
 

@@ -80,7 +80,7 @@ class HexagonDelegate:
         if channel is None:
             from repro.android.fastrpc import FastRpcChannel
 
-            channel = FastRpcChannel(kernel, process_id=id(self) % 100_000)
+            channel = FastRpcChannel(kernel, process_id=kernel.allocate_pid())
         self.channel = channel
 
     def covers(self, model):

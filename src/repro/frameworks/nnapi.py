@@ -27,6 +27,7 @@ from repro.frameworks.cpu_kernels import (
 )
 from repro.frameworks.support import supports_op
 from repro.frameworks.tflite import run_graph_on_cpu
+from repro.observability.probes import probe
 from repro.models.tensor import dtype_bytes
 
 #: Compilation cost: base plus per-op partitioning work.
@@ -127,26 +128,33 @@ class NnapiSession(InferenceSession):
     def prepare(self):
         """Model compilation (paper: performed once per model load)."""
         start = self.kernel.now
-        yield Work(
-            _COMPILE_BASE_US + self.model.op_count * _COMPILE_PER_OP_US,
-            label="nnapi:compile",
-        )
-        self.partitions = self.plan_partitions()
-        devices = {partition.device for partition in self.partitions}
-        if "dsp" in devices or self.model.dtype == "int8":
-            # The DSP driver is probed during compilation (capability
-            # query + test handshake) — the brief cDSP spike at the
-            # start of the paper's Fig. 6 NNAPI profile, present even
-            # when execution later falls back to the CPU.
-            channel = self._dsp_channel()
-            yield from channel.open_session()
-            yield from channel.invoke(
-                4_096, 256, dsp_compute_us=150.0, label="nnapi:probe"
-            )
-        if "gpu" in devices:
-            gpu = self.kernel.soc.gpu
-            yield Work(gpu.init_time_us * 0.4, label="nnapi:gpu_compile")
-            yield Sleep(gpu.init_time_us * 0.6)
+        with probe(self.kernel, "nnapi", "compile", model=self.model.name):
+            with probe(self.kernel, "nnapi", "partition"):
+                yield Work(
+                    _COMPILE_BASE_US
+                    + self.model.op_count * _COMPILE_PER_OP_US,
+                    label="nnapi:compile",
+                )
+                self.partitions = self.plan_partitions()
+            devices = {partition.device for partition in self.partitions}
+            if "dsp" in devices or self.model.dtype == "int8":
+                # The DSP driver is probed during compilation (capability
+                # query + test handshake) — the brief cDSP spike at the
+                # start of the paper's Fig. 6 NNAPI profile, present even
+                # when execution later falls back to the CPU.
+                channel = self._dsp_channel()
+                with probe(self.kernel, "nnapi", "driver_probe:dsp"):
+                    yield from channel.open_session()
+                    yield from channel.invoke(
+                        4_096, 256, dsp_compute_us=150.0, label="nnapi:probe"
+                    )
+            if "gpu" in devices:
+                gpu = self.kernel.soc.gpu
+                with probe(self.kernel, "nnapi", "driver_probe:gpu"):
+                    yield Work(
+                        gpu.init_time_us * 0.4, label="nnapi:gpu_compile"
+                    )
+                    yield Sleep(gpu.init_time_us * 0.6)
         if self.preference == "sustained_speed":
             # Cap the boost clock: trades peak latency for a thermally
             # sustainable operating point (no throttle cycling).
@@ -160,7 +168,7 @@ class NnapiSession(InferenceSession):
             from repro.android.fastrpc import FastRpcChannel
 
             self._channel = FastRpcChannel(
-                self.kernel, process_id=id(self) % 100_000
+                self.kernel, process_id=self.kernel.allocate_pid()
             )
         return self._channel
 
@@ -184,82 +192,93 @@ class NnapiSession(InferenceSession):
             if previous_device is not None and partition.device != previous_device:
                 crossings += 1
                 in_bytes, _ = self._boundary_bytes(partition)
-                yield Work(
-                    _BOUNDARY_DISPATCH_US + soc.memory.dram_copy_us(in_bytes),
-                    label="nnapi:boundary",
-                )
-            previous_device = partition.device
-
-            if partition.device == "cpu-reference":
-                # The runtime's portable kernels: single-threaded scalar
-                # loops on the caller thread (paper Fig. 5 / Fig. 6).
-                work = graph_cpu_work_us(
-                    partition.ops, self.model.dtype, IMPL_REFERENCE
-                )
-                yield Work(work, label="nnapi:reference")
-                self.stats.compute_us_total += work
-            elif partition.device == "cpu":
-                # Driver-rejected ops stay in TFLite's tuned kernels on
-                # the interpreter's thread pool (partial delegation, the
-                # Inception situation of §IV-A). The execution
-                # preference steers placement: LOW_POWER keeps CPU work
-                # on the little cluster with fewer threads.
-                threads = self.threads
-                affinity = None
-                if self.preference == "low_power":
-                    threads = min(self.threads, 2)
-                    affinity = {
-                        core.core_id for core in soc.little_cores
-                    }
-                work = yield from run_graph_on_cpu(
-                    self.kernel,
-                    partition.ops,
-                    self.model.dtype,
-                    threads=threads,
-                    label="nnapi:cpu_partition",
-                    affinity=affinity,
-                )
-                self.stats.compute_us_total += work
-            elif partition.device == "dsp":
-                in_bytes, out_bytes = self._boundary_bytes(partition)
-                compute = soc.dsp.graph_time_us(partition.ops, "int8")
-                before = self._dsp_channel().stats.offload_overhead_us
-                yield from self._dsp_channel().invoke(
-                    in_bytes, out_bytes, compute,
-                    label=f"nnapi:{self.model.name}[{partition.index}]",
-                )
-                self.stats.offload_us_total += (
-                    self._dsp_channel().stats.offload_overhead_us - before
-                )
-                self.stats.compute_us_total += compute
-            elif partition.device == "gpu":
-                in_bytes, out_bytes = self._boundary_bytes(partition)
-                yield Work(soc.memory.dram_copy_us(in_bytes), label="nnapi:upload")
-                request = soc.gpu.resource.request()
-                yield WaitFor(request)
-                try:
-                    compute = soc.gpu.graph_time_us(
-                        partition.ops, self.model.dtype
+                with probe(kernel, "nnapi", "boundary",
+                           from_device=previous_device,
+                           to_device=partition.device):
+                    yield Work(
+                        _BOUNDARY_DISPATCH_US
+                        + soc.memory.dram_copy_us(in_bytes),
+                        label="nnapi:boundary",
                     )
-                    span = None
-                    if kernel.sim.trace is not None:
-                        span = kernel.sim.trace.begin("gpu", self.model.name)
-                    yield Sleep(compute)
-                    if span is not None:
-                        kernel.sim.trace.end(span)
-                    soc.energy.add_gpu_busy(compute)
-                finally:
-                    request.release()
-                yield Work(
-                    soc.memory.dram_copy_us(out_bytes), label="nnapi:readback"
-                )
-                self.stats.compute_us_total += compute
-            else:
-                raise RuntimeError(f"unknown device {partition.device!r}")
+            previous_device = partition.device
+            with probe(kernel, "nnapi", f"partition:{partition.device}",
+                       index=partition.index, ops=partition.op_count):
+                yield from self._run_partition(partition)
         duration = kernel.now - start
         self.stats.partition_crossings += crossings
         self.stats.record_invoke(duration)
         return duration
+
+    def _run_partition(self, partition):
+        """Execute one partition on its assigned device (generator)."""
+        kernel = self.kernel
+        soc = kernel.soc
+        if partition.device == "cpu-reference":
+            # The runtime's portable kernels: single-threaded scalar
+            # loops on the caller thread (paper Fig. 5 / Fig. 6).
+            work = graph_cpu_work_us(
+                partition.ops, self.model.dtype, IMPL_REFERENCE
+            )
+            yield Work(work, label="nnapi:reference")
+            self.stats.compute_us_total += work
+        elif partition.device == "cpu":
+            # Driver-rejected ops stay in TFLite's tuned kernels on
+            # the interpreter's thread pool (partial delegation, the
+            # Inception situation of §IV-A). The execution
+            # preference steers placement: LOW_POWER keeps CPU work
+            # on the little cluster with fewer threads.
+            threads = self.threads
+            affinity = None
+            if self.preference == "low_power":
+                threads = min(self.threads, 2)
+                affinity = {
+                    core.core_id for core in soc.little_cores
+                }
+            work = yield from run_graph_on_cpu(
+                self.kernel,
+                partition.ops,
+                self.model.dtype,
+                threads=threads,
+                label="nnapi:cpu_partition",
+                affinity=affinity,
+            )
+            self.stats.compute_us_total += work
+        elif partition.device == "dsp":
+            in_bytes, out_bytes = self._boundary_bytes(partition)
+            compute = soc.dsp.graph_time_us(partition.ops, "int8")
+            before = self._dsp_channel().stats.offload_overhead_us
+            yield from self._dsp_channel().invoke(
+                in_bytes, out_bytes, compute,
+                label=f"nnapi:{self.model.name}[{partition.index}]",
+            )
+            self.stats.offload_us_total += (
+                self._dsp_channel().stats.offload_overhead_us - before
+            )
+            self.stats.compute_us_total += compute
+        elif partition.device == "gpu":
+            in_bytes, out_bytes = self._boundary_bytes(partition)
+            yield Work(soc.memory.dram_copy_us(in_bytes), label="nnapi:upload")
+            request = soc.gpu.resource.request()
+            yield WaitFor(request)
+            try:
+                compute = soc.gpu.graph_time_us(
+                    partition.ops, self.model.dtype
+                )
+                span = None
+                if kernel.sim.trace is not None:
+                    span = kernel.sim.trace.begin("gpu", self.model.name)
+                yield Sleep(compute)
+                if span is not None:
+                    kernel.sim.trace.end(span)
+                soc.energy.add_gpu_busy(compute)
+            finally:
+                request.release()
+            yield Work(
+                soc.memory.dram_copy_us(out_bytes), label="nnapi:readback"
+            )
+            self.stats.compute_us_total += compute
+        else:
+            raise RuntimeError(f"unknown device {partition.device!r}")
 
     def describe_plan(self):
         if not self.partitions:

@@ -63,7 +63,7 @@ class SnpeSession(InferenceSession):
             from repro.android.fastrpc import FastRpcChannel
 
             self._channel = FastRpcChannel(
-                self.kernel, process_id=id(self) % 100_000
+                self.kernel, process_id=self.kernel.allocate_pid()
             )
             yield from self._channel.open_session()
             yield Sleep(self.model.op_count * _DSP_PREP_PER_OP_US)

@@ -13,6 +13,7 @@ from repro.frameworks.cpu_kernels import (
     graph_cpu_work_us,
     parallel_efficiency,
 )
+from repro.observability.probes import probe
 
 #: Flatbuffer parse cost per op during model load.
 _PARSE_PER_OP_US = 1.5
@@ -70,16 +71,21 @@ class TfliteInterpreter(InferenceSession):
         """Model load + tensor allocation + delegate initialization."""
         start = self.kernel.now
         memory = self.kernel.soc.memory
-        load_us = memory.dram_copy_us(self.model.weight_bytes)
-        parse_us = self.model.op_count * (_PARSE_PER_OP_US + _ALLOC_PER_OP_US)
-        yield Work(load_us + parse_us, label="tflite:load")
+        with probe(self.kernel, "tflite", "load", model=self.model.name):
+            load_us = memory.dram_copy_us(self.model.weight_bytes)
+            parse_us = self.model.op_count * (
+                _PARSE_PER_OP_US + _ALLOC_PER_OP_US
+            )
+            yield Work(load_us + parse_us, label="tflite:load")
         if self.delegate is not None:
             if not self.delegate.covers(self.model):
                 raise UnsupportedModelError(
                     f"{self.delegate.name} cannot run {self.model.name} "
                     f"[{self.model.dtype}]"
                 )
-            yield from self.delegate.init(self.model)
+            with probe(self.kernel, "tflite",
+                       f"delegate_init:{self.delegate.name}"):
+                yield from self.delegate.init(self.model)
         self.prepared = True
         self.stats.init_us = self.kernel.now - start
 
@@ -89,17 +95,22 @@ class TfliteInterpreter(InferenceSession):
             raise RuntimeError("invoke() before prepare()")
         start = self.kernel.now
         if self.delegate is not None:
-            compute_us = yield from self.delegate.invoke(self.model)
+            with probe(self.kernel, "tflite",
+                       f"delegate_invoke:{self.delegate.name}",
+                       model=self.model.name):
+                compute_us = yield from self.delegate.invoke(self.model)
             self.stats.compute_us_total += compute_us
         else:
-            work = yield from run_graph_on_cpu(
-                self.kernel,
-                self.model.ops,
-                self.model.dtype,
-                threads=self.threads,
-                label=f"{self.model.name}:cpu",
-                affinity=self.affinity,
-            )
+            with probe(self.kernel, "tflite", "cpu_invoke",
+                       model=self.model.name, threads=self.threads):
+                work = yield from run_graph_on_cpu(
+                    self.kernel,
+                    self.model.ops,
+                    self.model.dtype,
+                    threads=self.threads,
+                    label=f"{self.model.name}:cpu",
+                    affinity=self.affinity,
+                )
             self.stats.compute_us_total += work
         duration = self.kernel.now - start
         self.stats.record_invoke(duration)

@@ -1,85 +1,14 @@
-"""Trace export in Chrome trace-event format.
+"""Backwards-compatible alias for :mod:`repro.observability.chrome_trace`.
 
-A :class:`~repro.sim.trace.TraceRecorder` can be dumped as the JSON the
-Chrome tracing UI (``chrome://tracing`` / Perfetto) understands, giving
-the reproduction the equivalent of the Snapdragon Profiler view the
-paper screenshots in Fig. 6: per-core swimlanes, DSP activity, counter
-tracks, and instant markers.
+The Chrome trace-event exporter grew into the observability layer
+(filtering, deterministic track ordering, sorted timestamps, the
+self-time summary next door); import from
+:mod:`repro.observability` in new code.
 """
 
-import json
+from repro.observability.chrome_trace import (  # noqa: F401
+    to_chrome_trace,
+    write_chrome_trace,
+)
 
-
-def _track_ids(trace):
-    """Stable (pid, tid) assignment: one tid per track, sorted."""
-    tracks = sorted({span.track for span in trace.spans})
-    return {track: index + 1 for index, track in enumerate(tracks)}
-
-
-def to_chrome_trace(trace, process_name="repro-soc"):
-    """Convert a TraceRecorder to a Chrome trace-event dict."""
-    tids = _track_ids(trace)
-    events = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 1,
-            "args": {"name": process_name},
-        }
-    ]
-    for track, tid in tids.items():
-        events.append(
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 1,
-                "tid": tid,
-                "args": {"name": track},
-            }
-        )
-    for span in trace.spans:
-        if not span.closed:
-            continue
-        events.append(
-            {
-                "name": span.label,
-                "cat": span.track,
-                "ph": "X",  # complete event
-                "pid": 1,
-                "tid": tids[span.track],
-                "ts": span.start,
-                "dur": span.duration,
-                "args": dict(span.meta),
-            }
-        )
-    for name, samples in trace.counters.items():
-        for timestamp, value in samples:
-            events.append(
-                {
-                    "name": name,
-                    "ph": "C",  # counter
-                    "pid": 1,
-                    "ts": timestamp,
-                    "args": {"value": value},
-                }
-            )
-    for timestamp, label, meta in trace.marks:
-        events.append(
-            {
-                "name": label,
-                "ph": "i",  # instant
-                "s": "g",
-                "pid": 1,
-                "ts": timestamp,
-                "args": dict(meta),
-            }
-        )
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
-
-
-def write_chrome_trace(trace, path, process_name="repro-soc"):
-    """Write the trace to ``path`` as JSON; returns the event count."""
-    payload = to_chrome_trace(trace, process_name=process_name)
-    with open(path, "w") as handle:
-        json.dump(payload, handle)
-    return len(payload["traceEvents"])
+__all__ = ["to_chrome_trace", "write_chrome_trace"]

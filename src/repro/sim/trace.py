@@ -53,12 +53,25 @@ class TraceRecorder:
         return span
 
     def end(self, span):
-        """Close a span opened with :meth:`begin`."""
+        """Close a span opened with :meth:`begin`.
+
+        The handle is popped from the track's open stack by *identity*,
+        scanning from the innermost end — ``list.remove`` would match
+        the first value-equal span, which silently closes the wrong
+        handle when same-track spans nest with identical fields (e.g.
+        two zero-width retries of the same label).
+        """
         span.end = self.sim.now
         stack = self._open.get(span.track, [])
-        if span in stack:
-            stack.remove(span)
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is span:
+                del stack[index]
+                break
         return span
+
+    def open_spans(self, track):
+        """Spans currently open on a track, outermost first."""
+        return list(self._open.get(track, []))
 
     def record(self, track, label, start, end, **meta):
         """Record an already-closed span."""

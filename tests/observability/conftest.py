@@ -1,0 +1,14 @@
+import pytest
+
+from repro.observability import record_trace
+
+
+@pytest.fixture(scope="package")
+def quickstart_session():
+    """One recorded quickstart run shared by the schema/summary tests."""
+    return record_trace("quickstart", runs=4)
+
+
+@pytest.fixture(scope="package")
+def quickstart_trace(quickstart_session):
+    return quickstart_session.sim.trace

@@ -1,0 +1,110 @@
+"""Chrome trace-event schema round-trip on a full scenario run."""
+
+import json
+
+from repro.observability import (
+    to_chrome_trace,
+    track_sort_key,
+    write_chrome_trace,
+)
+
+_REQUIRED = {
+    "M": {"name", "ph", "pid", "args"},
+    "X": {"name", "cat", "ph", "pid", "tid", "ts", "dur", "args"},
+    "C": {"name", "ph", "pid", "ts", "args"},
+    "i": {"name", "ph", "s", "pid", "ts", "args"},
+}
+
+
+def _events(trace, **kwargs):
+    return to_chrome_trace(trace, **kwargs)["traceEvents"]
+
+
+def test_every_event_has_its_phase_required_keys(quickstart_trace):
+    events = _events(quickstart_trace)
+    assert events, "quickstart produced an empty trace"
+    for event in events:
+        required = _REQUIRED[event["ph"]]
+        missing = required - set(event)
+        assert not missing, (event["ph"], missing)
+
+
+def test_durations_are_non_negative(quickstart_trace):
+    for event in _events(quickstart_trace):
+        if event["ph"] == "X":
+            assert event["dur"] >= 0.0
+
+
+def test_non_metadata_timestamps_are_monotonic(quickstart_trace):
+    timestamps = [
+        event["ts"]
+        for event in _events(quickstart_trace)
+        if event["ph"] != "M"
+    ]
+    assert timestamps == sorted(timestamps)
+    assert timestamps[0] >= 0.0
+
+
+def test_expected_tracks_and_counters_present(quickstart_trace):
+    events = _events(quickstart_trace)
+    tracks = {e["cat"] for e in events if e["ph"] == "X"}
+    counters = {e["name"] for e in events if e["ph"] == "C"}
+    assert {"cdsp", "fastrpc", "nnapi", "pipeline"} <= tracks
+    assert any(track.startswith("cpu") for track in tracks)
+    assert {"freq:big", "freq:little", "temp_c", "runqueue"} <= counters
+
+
+def test_thread_metadata_names_every_span_track(quickstart_trace):
+    events = _events(quickstart_trace)
+    named = {
+        e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    span_tracks = {e["cat"] for e in events if e["ph"] == "X"}
+    assert span_tracks <= named
+    tids = {
+        e["args"]["name"]: e["tid"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    for event in events:
+        if event["ph"] == "X":
+            assert event["tid"] == tids[event["cat"]]
+
+
+def test_track_filter_restricts_spans_only(quickstart_trace):
+    events = _events(quickstart_trace, tracks=("pipeline",))
+    assert {e["cat"] for e in events if e["ph"] == "X"} == {"pipeline"}
+    # counters are track-less and survive the filter
+    assert any(e["ph"] == "C" for e in events)
+
+
+def test_min_dur_and_toggles(quickstart_trace):
+    events = _events(
+        quickstart_trace,
+        min_dur_us=1e12,
+        include_counters=False,
+        include_marks=False,
+    )
+    assert all(event["ph"] == "M" for event in events)
+
+
+def test_write_round_trips_through_json(quickstart_trace, tmp_path):
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(quickstart_trace, path, process_name="t")
+    with open(path) as handle:
+        payload = json.load(handle)
+    assert len(payload["traceEvents"]) == count
+    assert payload["displayTimeUnit"] == "ms"
+    process = [
+        e for e in payload["traceEvents"] if e["name"] == "process_name"
+    ]
+    assert process[0]["args"]["name"] == "t"
+
+
+def test_track_sort_key_orders_swimlanes():
+    tracks = ["pipeline", "cpu10", "zzz", "cdsp", "cpu2", "gpu", "fastrpc"]
+    assert sorted(tracks, key=track_sort_key) == [
+        "cpu2", "cpu10", "gpu", "cdsp", "fastrpc", "pipeline", "zzz",
+    ]

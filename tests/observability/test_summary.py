@@ -1,0 +1,102 @@
+"""Self-time rollup: the exclusive-time invariant and synthetic nesting."""
+
+import pytest
+
+from repro.observability import summarize_trace
+from repro.sim.trace import TraceRecorder
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def _recorder():
+    return TraceRecorder(_Clock())
+
+
+def test_exclusive_times_sum_to_busy_time_per_track(quickstart_trace):
+    summary = summarize_trace(quickstart_trace)
+    assert summary.tracks, "no tracks summarized"
+    for track in summary.tracks:
+        busy = summary.track_busy_us[track]
+        assert summary.track_exclusive_us(track) == pytest.approx(
+            busy, rel=1e-9
+        ), track
+
+
+def test_inclusive_is_at_least_exclusive(quickstart_trace):
+    for row in summarize_trace(quickstart_trace).rows:
+        assert row.inclusive_us >= row.exclusive_us - 1e-9
+
+
+def test_fastrpc_invoke_time_is_attributed_to_stages(quickstart_trace):
+    rows = {
+        row.label: row
+        for row in summarize_trace(quickstart_trace).rows_on("fastrpc")
+    }
+    invokes = [rows[label] for label in rows if label.startswith("invoke:")]
+    assert invokes, "no fastrpc invoke spans recorded"
+    # nearly all invoke time belongs to the nested Fig.-7 stages
+    inclusive = sum(row.inclusive_us for row in invokes)
+    exclusive = sum(row.exclusive_us for row in invokes)
+    assert exclusive < 0.05 * inclusive
+
+
+def test_synthetic_nesting():
+    trace = _recorder()
+    trace.record("t", "parent", 0.0, 100.0)
+    trace.record("t", "child", 10.0, 30.0)
+    trace.record("t", "grandchild", 12.0, 20.0)
+    trace.record("t", "child", 30.0, 60.0)
+    summary = summarize_trace(trace)
+    rows = {row.label: row for row in summary.rows_on("t")}
+    assert rows["parent"].inclusive_us == 100.0
+    assert rows["parent"].exclusive_us == pytest.approx(50.0)
+    assert rows["child"].count == 2
+    assert rows["child"].inclusive_us == pytest.approx(50.0)
+    assert rows["child"].exclusive_us == pytest.approx(42.0)
+    assert rows["grandchild"].exclusive_us == pytest.approx(8.0)
+    assert summary.track_busy_us["t"] == pytest.approx(100.0)
+    assert summary.track_exclusive_us("t") == pytest.approx(100.0)
+
+
+def test_disjoint_spans_have_full_self_time():
+    trace = _recorder()
+    trace.record("t", "a", 0.0, 10.0)
+    trace.record("t", "b", 20.0, 35.0)
+    summary = summarize_trace(trace)
+    rows = {row.label: row for row in summary.rows_on("t")}
+    assert rows["a"].exclusive_us == pytest.approx(10.0)
+    assert rows["b"].exclusive_us == pytest.approx(15.0)
+    assert summary.track_busy_us["t"] == pytest.approx(25.0)
+    # extent spans the gap; busy time does not
+    assert summary.total_us == pytest.approx(35.0)
+
+
+def test_unclosed_spans_are_ignored():
+    trace = _recorder()
+    trace.record("t", "done", 0.0, 5.0)
+    trace.begin("t", "dangling")
+    summary = summarize_trace(trace)
+    assert [row.label for row in summary.rows_on("t")] == ["done"]
+
+
+def test_tracks_filter():
+    trace = _recorder()
+    trace.record("a", "x", 0.0, 1.0)
+    trace.record("b", "y", 0.0, 1.0)
+    summary = summarize_trace(trace, tracks=("b",))
+    assert summary.tracks == ["b"]
+
+
+def test_render_mentions_tracks_and_labels(quickstart_trace):
+    text = summarize_trace(quickstart_trace).render(top=3)
+    assert "[pipeline]" in text
+    assert "data_capture" in text
+    # top=3 caps each section at header + 3 label rows
+    section = text.split("[pipeline]")[1]
+    label_rows = [
+        line for line in section.splitlines() if line.count("|") >= 4
+    ]
+    assert len(label_rows) <= 4  # header row + top 3

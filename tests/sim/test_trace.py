@@ -1,0 +1,80 @@
+"""TraceRecorder span-stack behaviour, including the identity-pop fix."""
+
+from repro.sim.trace import TraceRecorder
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def _recorder():
+    return TraceRecorder(_Clock())
+
+
+def test_end_pops_the_exact_handle_not_a_value_equal_twin():
+    """Nested same-track spans with identical fields must close by
+    identity; ``list.remove`` would pop the outer (first value-equal)
+    span and leave the inner one dangling open."""
+    trace = _recorder()
+    outer = trace.begin("t", "retry")
+    inner = trace.begin("t", "retry")  # value-equal to outer
+    assert outer == inner and outer is not inner
+
+    trace.sim.now = 5.0
+    trace.end(inner)
+    assert trace.open_spans("t") == [outer]
+    assert inner.closed and not outer.closed
+
+    trace.sim.now = 9.0
+    trace.end(outer)
+    assert trace.open_spans("t") == []
+    assert outer.end == 9.0
+    assert inner.end == 5.0
+
+
+def test_out_of_order_closure_of_nested_spans():
+    trace = _recorder()
+    outer = trace.begin("t", "a")
+    inner = trace.begin("t", "a")
+    trace.sim.now = 3.0
+    trace.end(outer)  # outer closed first — unusual but legal
+    assert trace.open_spans("t") == [inner]
+    trace.sim.now = 4.0
+    trace.end(inner)
+    assert trace.open_spans("t") == []
+    assert (outer.end, inner.end) == (3.0, 4.0)
+
+
+def test_ending_an_unknown_span_is_harmless():
+    trace = _recorder()
+    kept = trace.begin("t", "kept")
+    stray = trace.record("t", "stray", 0.0, 1.0)
+    trace.sim.now = 2.0
+    trace.end(stray)  # never on the open stack
+    assert trace.open_spans("t") == [kept]
+
+
+def test_open_spans_returns_a_copy_outermost_first():
+    trace = _recorder()
+    outer = trace.begin("t", "outer")
+    trace.sim.now = 1.0
+    inner = trace.begin("t", "inner")
+    snapshot = trace.open_spans("t")
+    assert snapshot == [outer, inner]
+    snapshot.clear()  # mutating the copy must not touch the stack
+    assert trace.open_spans("t") == [outer, inner]
+    assert trace.open_spans("elsewhere") == []
+
+
+def test_spans_list_keeps_begin_order_after_closure():
+    trace = _recorder()
+    first = trace.begin("t", "first")
+    trace.sim.now = 1.0
+    second = trace.begin("t", "second")
+    trace.sim.now = 2.0
+    trace.end(second)
+    trace.sim.now = 3.0
+    trace.end(first)
+    assert trace.spans == [first, second]
+    assert all(span.closed for span in trace.spans)

@@ -99,6 +99,34 @@ def test_fleet_command(tmp_path, capsys):
     assert "cache hits: 8" in out
 
 
+def test_trace_command(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "trace.json"
+    argv = [
+        "trace", "quickstart", "--out", str(out_path), "--runs", "3",
+        "--top", "2",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "[pipeline]" in out
+    assert "data_capture" in out
+    assert f"wrote {out_path}" in out
+    with open(out_path) as handle:
+        payload = json.load(handle)
+    tracks = {
+        event["cat"]
+        for event in payload["traceEvents"]
+        if event["ph"] == "X"
+    }
+    assert {"fastrpc", "pipeline"} <= tracks
+
+
+def test_trace_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace", "no-such-scenario"])
+
+
 def test_summary_command(capsys):
     assert main(["summary"]) == 0
     out = capsys.readouterr().out
