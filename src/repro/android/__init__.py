@@ -8,7 +8,12 @@ single-threaded, frequent core migrations, contention from background
 inferences — are the mechanisms behind the paper's Figs. 5, 6, 9 and 10.
 """
 
-from repro.android.fastrpc import FastRpcChannel, FastRpcStats
+from repro.android.fastrpc import (
+    FastRpcChannel,
+    FastRpcSessionDeath,
+    FastRpcStats,
+    FastRpcTimeout,
+)
 from repro.android.interference import InterferenceProfile, start_interference
 from repro.android.kernel import Kernel
 from repro.android.process import AppProcess
@@ -16,7 +21,9 @@ from repro.android.thread import Sleep, SimThread, WaitFor, Work
 
 __all__ = [
     "FastRpcChannel",
+    "FastRpcSessionDeath",
     "FastRpcStats",
+    "FastRpcTimeout",
     "InterferenceProfile",
     "start_interference",
     "Kernel",

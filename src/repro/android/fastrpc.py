@@ -17,12 +17,26 @@ from dataclasses import dataclass
 
 from repro.android import params
 from repro.android.thread import Sleep, WaitFor, Work
-from repro.observability.probes import probe
+from repro.faults.plan import (
+    DEFAULT_THERMAL_JUMP_C,
+    FAULT_SESSION_DEATH,
+    FAULT_SSR,
+    FAULT_THERMAL,
+    FAULT_TIMEOUT,
+)
+from repro.faults.recovery import RetryPolicy
+from repro.observability.probes import instant, probe
 
 
 @dataclass
 class FastRpcStats:
-    """Accounting of where FastRPC time went, per channel."""
+    """Accounting of where FastRPC time went, per channel.
+
+    ``calls`` counts *completed* invocations only; failed calls land in
+    the fault counters (``timeouts``, ``session_deaths``, ``ssr_events``,
+    ``stale_handles``) so traces and reports can distinguish a call that
+    finished from one the driver failed.
+    """
 
     calls: int = 0
     session_opens: int = 0
@@ -34,6 +48,28 @@ class FastRpcStats:
     signal_us: float = 0.0
     dsp_queue_us: float = 0.0
     dsp_compute_us: float = 0.0
+    #: Calls failed with -ETIMEDOUT (driver timeout or injected).
+    timeouts: int = 0
+    #: Calls failed because this channel's session was torn down.
+    session_deaths: int = 0
+    #: Calls failed by a DSP subsystem restart (all mappings dropped).
+    ssr_events: int = 0
+    #: Calls failed on a handle invalidated by someone else's SSR.
+    stale_handles: int = 0
+    #: Transient thermal emergencies injected on this channel.
+    thermal_events: int = 0
+    #: Retries issued by :meth:`FastRpcChannel.invoke_retrying`.
+    retries: int = 0
+    #: Off-CPU time spent in retry backoff.
+    backoff_us: float = 0.0
+
+    @property
+    def failed_calls(self):
+        """Invocation attempts that raised instead of completing."""
+        return (
+            self.timeouts + self.session_deaths + self.ssr_events
+            + self.stale_handles
+        )
 
     @property
     def offload_overhead_us(self):
@@ -58,14 +94,31 @@ class FastRpcTimeout(Exception):
     """
 
 
+class FastRpcSessionDeath(Exception):
+    """The channel's DSP session died mid-call.
+
+    Covers both a targeted teardown (the driver killed this process's
+    handle) and a DSP subsystem restart (SSR), which drops *every*
+    process mapping. Either way the caller must reopen the session —
+    paying the multi-millisecond remap/reload cost again — before the
+    channel is usable.
+    """
+
+
 class FastRpcChannel:
     """One process's RPC channel to the DSP.
 
     All public methods are generators intended for ``yield from`` inside
     a :class:`~repro.android.thread.SimThread` body.
+
+    ``fault_injector`` (a :class:`~repro.faults.plan.FaultInjector`)
+    deterministically fails calls for chaos experiments;
+    ``retry_policy`` (a :class:`~repro.faults.recovery.RetryPolicy`)
+    governs :meth:`invoke_retrying`.
     """
 
-    def __init__(self, kernel, process_id, queue_timeout_us=None):
+    def __init__(self, kernel, process_id, queue_timeout_us=None,
+                 fault_injector=None, retry_policy=None):
         self.kernel = kernel
         self.soc = kernel.soc
         self.dsp = kernel.soc.dsp
@@ -73,6 +126,10 @@ class FastRpcChannel:
         #: Max wait for the DSP queue before the call fails; None waits
         #: forever (the behaviour of the default driver configuration).
         self.queue_timeout_us = queue_timeout_us
+        self.fault_injector = fault_injector
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
         self.stats = FastRpcStats()
         self._session_open = False
 
@@ -101,15 +158,49 @@ class FastRpcChannel:
         sim = self.kernel.sim
         memory = self.soc.memory
         start = self.kernel.now
+        if (
+            self._session_open
+            and self.process_id not in self.dsp.mapped_processes
+        ):
+            # The DSP restarted underneath us (another client's SSR):
+            # the handle is stale and the driver fails the call at the
+            # ioctl, before any DSP-side work.
+            self._session_open = False
+            yield from self.kernel.syscall(label=f"fastrpc:{label}:stale")
+            self.stats.kernel_us += params.IOCTL_US
+            self.stats.stale_handles += 1
+            raise FastRpcSessionDeath(
+                f"process {self.process_id} lost its DSP mapping "
+                "(subsystem restarted)"
+            )
         if not self._session_open:
             yield from self.open_session()
-        self.stats.calls += 1
+        fault = None
+        if self.fault_injector is not None:
+            fault = self.fault_injector.draw(self.kernel.now)
+        if fault is not None and fault.kind == FAULT_THERMAL:
+            # Transient thermal emergency: the die jumps and throttling
+            # engages; the call itself proceeds, just slower from here.
+            jump = (
+                fault.magnitude
+                if fault.magnitude is not None
+                else DEFAULT_THERMAL_JUMP_C
+            )
+            thermal = self.soc.thermal
+            thermal.temperature = min(
+                thermal.full_load_celsius, thermal.temperature + jump
+            )
+            thermal._apply_throttle()
+            self.stats.thermal_events += 1
+            instant(sim, "fault:thermal",
+                    process=self.process_id, jump_c=jump)
+            fault = None
 
         # The Fig. 7 call flow, each stage a nested span on the
         # "fastrpc" track (probes are no-ops when tracing is off).
         with probe(sim, "fastrpc", f"invoke:{label}",
                    process=self.process_id, input_bytes=input_bytes,
-                   output_bytes=output_bytes):
+                   output_bytes=output_bytes) as span:
             # User side: marshal arguments.
             with probe(sim, "fastrpc", "user:marshal"):
                 yield Work(
@@ -133,6 +224,12 @@ class FastRpcChannel:
             yield Sleep(params.FASTRPC_SIGNAL_US)
             self.stats.signal_us += params.FASTRPC_SIGNAL_US
             queue_start = self.kernel.now
+            if fault is not None:
+                # Injected failures surface here, where a real wedged
+                # DSP or dead session would: after the CPU-side costs
+                # are sunk. _fail_injected always raises.
+                yield from self._fail_injected(fault, span, label,
+                                               queue_start)
             request = self.dsp.resource.request()
             with probe(sim, "fastrpc", "dsp:queue",
                        depth=self.dsp.resource.queue_length):
@@ -152,6 +249,9 @@ class FastRpcChannel:
                             label=f"fastrpc:{label}:etimedout",
                         )
                         self.stats.kernel_us += params.IOCTL_US
+                        self.stats.timeouts += 1
+                        if span is not None:
+                            span.meta["status"] = "timeout"
                         raise FastRpcTimeout(
                             f"DSP busy for {self.queue_timeout_us:.0f}us "
                             f"(queue depth {self.dsp.resource.queue_length})"
@@ -203,7 +303,90 @@ class FastRpcChannel:
                 yield Work(params.IOCTL_US, label=f"fastrpc:{label}:ret")
             self.stats.kernel_us += params.IOCTL_US
 
+        self.stats.calls += 1
         return self.kernel.now - start
+
+    def _fail_injected(self, fault, span, label, queue_start):
+        """Surface an injected fault as the driver would. Always raises."""
+        sim = self.kernel.sim
+        instant(sim, f"fault:{fault.kind}",
+                process=self.process_id, call=label)
+        if span is not None:
+            span.meta["status"] = fault.kind
+        if fault.kind == FAULT_TIMEOUT:
+            # The DSP never picks the call up; the caller burns the
+            # driver timeout in the queue, then pays the kernel exit.
+            wait = (
+                self.queue_timeout_us
+                if self.queue_timeout_us is not None
+                else params.FASTRPC_INJECTED_TIMEOUT_US
+            )
+            with probe(sim, "fastrpc", "dsp:queue",
+                       depth=self.dsp.resource.queue_length):
+                yield Sleep(wait)
+            self.stats.dsp_queue_us += self.kernel.now - queue_start
+            yield Work(params.IOCTL_US, label=f"fastrpc:{label}:etimedout")
+            self.stats.kernel_us += params.IOCTL_US
+            self.stats.timeouts += 1
+            raise FastRpcTimeout(
+                f"injected: DSP unresponsive for {wait:.0f}us"
+            )
+        if fault.kind == FAULT_SSR:
+            # Subsystem restart: the watchdog fires, every process
+            # mapping is dropped, and each victim pays the session
+            # remap/reload cost again at its next open.
+            yield Sleep(params.FASTRPC_SSR_DETECT_US)
+            dropped = self.dsp.restart()
+            self._session_open = False
+            yield Work(params.IOCTL_US, label=f"fastrpc:{label}:ssr")
+            self.stats.kernel_us += params.IOCTL_US
+            self.stats.ssr_events += 1
+            raise FastRpcSessionDeath(
+                f"injected: DSP subsystem restart dropped {dropped} "
+                "process mappings"
+            )
+        if fault.kind == FAULT_SESSION_DEATH:
+            # Only this channel's handle dies; the DSP itself survives.
+            self.dsp.unmap_process(self.process_id)
+            self._session_open = False
+            yield Work(params.IOCTL_US, label=f"fastrpc:{label}:enosuchdev")
+            self.stats.kernel_us += params.IOCTL_US
+            self.stats.session_deaths += 1
+            raise FastRpcSessionDeath(
+                f"injected: driver killed session for process "
+                f"{self.process_id}"
+            )
+        raise RuntimeError(f"unhandled fault kind {fault.kind!r}")
+
+    def invoke_retrying(self, input_bytes, output_bytes, dsp_compute_us,
+                        label="invoke"):
+        """:meth:`invoke` under the channel's retry policy.
+
+        Failed calls (timeout or session death) are retried up to
+        ``retry_policy.max_retries`` times with deterministic
+        exponential backoff; a reopened session pays the remap cost
+        inside the retried call. The final failure propagates for the
+        runtime above to handle (e.g. NNAPI's runtime CPU fallback).
+        """
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            try:
+                result = yield from self.invoke(
+                    input_bytes, output_bytes, dsp_compute_us, label=label
+                )
+                return result
+            except (FastRpcTimeout, FastRpcSessionDeath) as exc:
+                if attempt >= policy.max_retries:
+                    raise
+                backoff = policy.backoff_for(attempt)
+                attempt += 1
+                self.stats.retries += 1
+                self.stats.backoff_us += backoff
+                with probe(self.kernel.sim, "fastrpc", f"retry:{label}",
+                           attempt=attempt, cause=type(exc).__name__):
+                    if backoff > 0:
+                        yield Sleep(backoff)
 
     def close(self):
         """Tear down the process mapping."""

@@ -58,6 +58,7 @@ class Kernel:
         self._total_busy = 0.0
         self._rng = sim.rng.stream("sched")
         self._next_pid = 1000
+        self._next_tid = 1
         # Start dispatch loops fastest-core-first so work queued before
         # the first simulation step lands on the big cluster.
         for core in sorted(soc.cores, key=lambda c: -c.perf_index):
@@ -86,6 +87,18 @@ class Kernel:
         pid = self._next_pid
         self._next_pid += 1
         return pid
+
+    def allocate_tid(self):
+        """Deterministic thread-id allocation, fresh per simulation.
+
+        Same contract as :meth:`allocate_pid`: tids are exported in
+        trace-event args, so a process-global counter would make the
+        Nth simulation in a process export different bytes than the
+        first.
+        """
+        tid = self._next_tid
+        self._next_tid += 1
+        return tid
 
     # -- thread lifecycle ------------------------------------------------
 

@@ -32,6 +32,12 @@ FASTRPC_SIGNAL_US = 25.0
 FASTRPC_SESSION_OPEN_US = 12_000.0
 #: DSP-side invoke dispatch (queue pop, stub unmarshal).
 FASTRPC_DSP_DISPATCH_US = 30.0
+#: How long an injected-timeout call waits before the driver fails it
+#: with -ETIMEDOUT, when the channel has no explicit queue timeout.
+FASTRPC_INJECTED_TIMEOUT_US = 5_000.0
+#: Latency until the driver notices a DSP subsystem restart and fails
+#: in-flight calls (watchdog expiry + SSR notification fan-out).
+FASTRPC_SSR_DETECT_US = 1_500.0
 
 # -- Android runtime ---------------------------------------------------------
 

@@ -63,13 +63,11 @@ class SimThread:
     step); ``affinity`` is an optional set of allowed core ids.
     """
 
-    _ids = iter(range(1, 1_000_000))
-
     def __init__(self, kernel, body, name, nice=0, affinity=None, process=None):
         self.kernel = kernel
         self.body = body
         self.name = name
-        self.tid = next(SimThread._ids)
+        self.tid = kernel.allocate_tid()
         self.nice = nice
         self.affinity = frozenset(affinity) if affinity is not None else None
         self.process = process

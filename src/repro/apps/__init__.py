@@ -16,7 +16,11 @@ Plus background inference jobs for the multi-tenancy experiments
 from repro.apps.android_app import AndroidApp
 from repro.apps.background import start_background_inferences
 from repro.apps.benchmark_cli import BenchmarkApp, BenchmarkCli
-from repro.apps.harness import PipelineConfig, run_pipeline
+from repro.apps.harness import (
+    PipelineConfig,
+    run_pipeline,
+    run_pipeline_with_rig,
+)
 from repro.apps.sessions import make_session
 
 __all__ = [
@@ -26,5 +30,6 @@ __all__ = [
     "BenchmarkCli",
     "PipelineConfig",
     "run_pipeline",
+    "run_pipeline_with_rig",
     "make_session",
 ]

@@ -26,7 +26,7 @@ class AndroidApp:
 
     def __init__(self, kernel, model_key, dtype="fp32", target="nnapi",
                  threads=4, source_hw=(480, 640), fps=30.0,
-                 interference=None, preference=None, name=None):
+                 interference=None, preference=None, name=None, faults=None):
         self.kernel = kernel
         self.model_key = model_key
         self.card = model_card(model_key)
@@ -35,7 +35,7 @@ class AndroidApp:
         self.name = name or f"app:{model_key}"
         self.session = make_session(
             kernel, self.model, target=target, threads=threads,
-            preference=preference,
+            preference=preference, faults=faults,
         )
         self.pre_plan = build_preprocessor(
             self.card, self.model, context="app", source_hw=source_hw

@@ -28,7 +28,7 @@ class BenchmarkCli:
 
     def __init__(self, kernel, model_key, dtype="fp32", target="cpu",
                  threads=4, stdlib="libc++", interference=None,
-                 preference=None):
+                 preference=None, faults=None):
         self.kernel = kernel
         self.model_key = model_key
         self.card = model_card(model_key)
@@ -37,7 +37,7 @@ class BenchmarkCli:
         self.stdlib = stdlib
         self.session = make_session(
             kernel, self.model, target=target, threads=threads,
-            preference=preference,
+            preference=preference, faults=faults,
         )
         self.pre_plan = build_preprocessor(
             self.card, self.model, context=self.context
@@ -139,12 +139,13 @@ class BenchmarkApp(BenchmarkCli):
 
     def __init__(self, kernel, model_key, dtype="fp32", target="cpu",
                  threads=4, stdlib="libc++", interference=None,
-                 preference=None):
+                 preference=None, faults=None):
         if interference is None:
             interference = InterferenceProfile.app(intensity=0.6)
         super().__init__(
             kernel, model_key, dtype=dtype, target=target, threads=threads,
             stdlib=stdlib, interference=interference, preference=preference,
+            faults=faults,
         )
 
     def _other(self):

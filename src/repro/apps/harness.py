@@ -41,6 +41,10 @@ class PipelineConfig:
     #: idle temperature (the paper's cooled-down protocol, §III-D).
     #: Fleet simulation uses this to model devices that start warm.
     ambient_celsius: float = None
+    #: Probability each FastRPC call is hit by an injected fault (the
+    #: chaos experiment's knob). 0.0 disables injection entirely; the
+    #: plan is seeded from ``seed`` so runs stay deterministic.
+    fault_rate: float = 0.0
     #: (count, target) of background inference jobs, e.g. (4, "nnapi").
     background: tuple = None
     background_model: str = "mobilenet_v1"
@@ -95,11 +99,19 @@ def build_rig(config):
 
 def build_packaging(kernel, config):
     """Instantiate the packaging object for a config."""
+    from repro.faults import FaultPlan
+
+    faults = (
+        FaultPlan.sampled(rate=config.fault_rate, seed=config.seed)
+        if config.fault_rate
+        else None
+    )
     common = dict(
         dtype=config.dtype,
         target=config.target,
         threads=config.threads,
         preference=config.preference,
+        faults=faults,
         **config.extra,
     )
     if config.context == "cli":

@@ -1,5 +1,6 @@
 """Session factory: map a target name to a configured runtime."""
 
+from repro.faults import FaultInjector
 from repro.frameworks import (
     GpuDelegate,
     HexagonDelegate,
@@ -20,8 +21,15 @@ TARGETS = (
 )
 
 
-def make_session(kernel, model, target="cpu", threads=4, preference=None):
-    """Build an :class:`~repro.frameworks.base.InferenceSession`."""
+def make_session(kernel, model, target="cpu", threads=4, preference=None,
+                 faults=None):
+    """Build an :class:`~repro.frameworks.base.InferenceSession`.
+
+    ``faults`` is an optional :class:`~repro.faults.FaultPlan`. Only the
+    DSP-offload targets (``nnapi``, ``snpe-dsp``) cross FastRPC, so only
+    they get an injector; CPU/GPU targets ignore the plan.
+    """
+    injector = FaultInjector(faults) if faults else None
     if target == "cpu":
         return TfliteInterpreter(kernel, model, threads=threads)
     if target == "cpu1":
@@ -30,6 +38,8 @@ def make_session(kernel, model, target="cpu", threads=4, preference=None):
         kwargs = {"threads": threads}
         if preference is not None:
             kwargs["preference"] = preference
+        if injector is not None:
+            kwargs["fault_injector"] = injector
         return NnapiSession(kernel, model, **kwargs)
     if target == "hexagon":
         return TfliteInterpreter(
@@ -38,7 +48,9 @@ def make_session(kernel, model, target="cpu", threads=4, preference=None):
     if target == "gpu":
         return TfliteInterpreter(kernel, model, delegate=GpuDelegate(kernel))
     if target == "snpe-dsp":
-        return SnpeSession(kernel, model, runtime="dsp")
+        return SnpeSession(
+            kernel, model, runtime="dsp", fault_injector=injector
+        )
     if target == "snpe-cpu":
         return SnpeSession(kernel, model, runtime="cpu", threads=threads)
     raise ValueError(f"unknown target {target!r}; known: {TARGETS}")

@@ -14,6 +14,10 @@ Commands
 ``fleet``
     Simulate a device population in parallel and print fleet-level
     AI-tax percentiles.
+``chaos``
+    Sweep deterministic FastRPC fault injection over the chaos
+    population and print AI-tax inflation plus the recovery ledger
+    (see docs/faults.md).
 ``trace``
     Record a named scenario with full instrumentation, print the
     self-time rollup, and export Chrome trace-event JSON for
@@ -130,6 +134,33 @@ def _cmd_fleet(args):
     return 0
 
 
+def _cmd_chaos(args):
+    rates = args.fault_rate if args.fault_rate else None
+    kwargs = {
+        "sessions": args.sessions,
+        "workers": args.workers,
+        "seed": args.seed,
+        "runs": args.runs,
+    }
+    if rates is not None:
+        kwargs["fault_rates"] = tuple(rates)
+    result = run_experiment("chaos", **kwargs)
+    print(result.render())
+    ok_counts = result.column("ok")
+    failed_counts = result.column("failed")
+    print(
+        f"\nrates swept: {len(result.rows)}  "
+        f"completed sessions: {sum(ok_counts)}  "
+        f"failed sessions: {sum(failed_counts)}"
+    )
+    # Partial results are expected under faults; an *empty* rate — every
+    # session dead — is a recovery regression and fails the command.
+    if any(count == 0 for count in ok_counts):
+        print("error: a swept rate produced zero completed sessions")
+        return 1
+    return 0
+
+
 def _cmd_trace(args):
     from repro.observability import (
         record_trace,
@@ -239,6 +270,31 @@ def build_parser():
         help="inference iterations per session (default: population's)",
     )
 
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="sweep FastRPC fault injection over a device fleet "
+             "(docs/faults.md)",
+    )
+    chaos_parser.add_argument(
+        "--sessions", type=int, default=16,
+        help="device sessions expanded per swept rate",
+    )
+    chaos_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size (results are identical for any value)",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument(
+        "--runs", type=int, default=4,
+        help="inference iterations per session",
+    )
+    chaos_parser.add_argument(
+        "--fault-rate", type=float, action="append", default=None,
+        metavar="RATE",
+        help="per-call fault probability to sweep (repeatable; the 0.0 "
+             "baseline is always included)",
+    )
+
     from repro.observability.scenarios import SCENARIOS
 
     trace_parser = sub.add_parser(
@@ -281,6 +337,7 @@ _HANDLERS = {
     "run": _cmd_run,
     "experiment": _cmd_experiment,
     "fleet": _cmd_fleet,
+    "chaos": _cmd_chaos,
     "trace": _cmd_trace,
     "report": _cmd_report,
 }

@@ -9,6 +9,7 @@ and EXPERIMENTS.md generation.
 from repro.experiments.base import ExperimentResult, run_experiment, REGISTRY
 from repro.experiments import (  # noqa: F401  (registration side effects)
     ablations,
+    chaos,
     extensions,
     optimizations,
     takeaways,

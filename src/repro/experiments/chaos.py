@@ -1,0 +1,119 @@
+"""Chaos sweep: AI-tax inflation under injected DSP-offload faults.
+
+The paper measures the offload stack on healthy hardware; production
+fleets also see the unhealthy days — FastRPC ``-ETIMEDOUT``, DSP
+subsystem restarts, driver-killed sessions. This experiment sweeps the
+per-call fault probability over the chaos population (the paper mix
+plus a vendor-runtime slice) and reports, per rate, the fleet's
+end-to-end p50/p99 and their inflation over the fault-free baseline,
+alongside the recovery ledger: faults absorbed, retries burned, runtime
+CPU fallbacks taken, and sessions that died outright (the vendor
+runtime does not recover — see docs/faults.md).
+
+The 0.0 rate is always included as the baseline, so the inflation
+columns are well-defined whatever rates the caller asks for.
+"""
+
+from repro.experiments.base import experiment
+
+#: Default fault probabilities swept (0.0 is forced in regardless).
+DEFAULT_RATES = (0.0, 0.05, 0.2)
+
+
+def _recovery_ledger(results):
+    """Summed degradation counters over completed sessions."""
+    faults = retries = fallbacks = 0
+    for result in results:
+        if not result.degradation:
+            continue
+        faults += sum(result.degradation["faults"].values())
+        retries += result.degradation["retries"]
+        fallbacks += result.degradation["fallbacks"]
+    return faults, retries, fallbacks
+
+
+@experiment("chaos")
+def run(sessions=16, runs=4, workers=1, seed=0, fault_rates=DEFAULT_RATES,
+        cache_dir=None):
+    # Lazy import: repro.fleet renders through repro.experiments.base.
+    from repro.experiments.base import ExperimentResult
+    from repro.fleet import aggregate_fleet, chaos_population, run_fleet
+
+    rates = sorted({0.0} | {float(rate) for rate in fault_rates})
+    population = chaos_population()
+    rows = []
+    series = {
+        "fault_rate": [], "p50_ms": [], "p99_ms": [],
+        "p50_inflation": [], "p99_inflation": [],
+        "failed_sessions": [],
+    }
+    notes = []
+    baseline = None
+    for rate in rates:
+        fleet = run_fleet(
+            population=population,
+            sessions=sessions,
+            workers=workers,
+            seed=seed,
+            runs=runs,
+            fault_rate=rate,
+            cache_dir=cache_dir,
+        )
+        ok = fleet.ok_results
+        failed = fleet.failures
+        faults, retries, fallbacks = _recovery_ledger(ok)
+        if ok:
+            overall = aggregate_fleet(fleet).overall
+            p50, p99 = overall.p50_ms, overall.p99_ms
+        else:
+            p50 = p99 = 0.0
+            notes.append(
+                f"rate {rate:.2f}: every session failed; no percentiles"
+            )
+        if baseline is None:
+            baseline = (p50, p99)
+        p50_x = p50 / baseline[0] if baseline[0] > 0 else 0.0
+        p99_x = p99 / baseline[1] if baseline[1] > 0 else 0.0
+        rows.append((
+            f"{rate:.2f}", len(fleet), len(ok), len(failed),
+            p50, p99, p50_x, p99_x, faults, retries, fallbacks,
+        ))
+        series["fault_rate"].append(rate)
+        series["p50_ms"].append(p50)
+        series["p99_ms"].append(p99)
+        series["p50_inflation"].append(p50_x)
+        series["p99_inflation"].append(p99_x)
+        series["failed_sessions"].append(len(failed))
+        if failed:
+            by_type = {}
+            for result in failed:
+                by_type[result.error["type"]] = (
+                    by_type.get(result.error["type"], 0) + 1
+                )
+            detail = ", ".join(
+                f"{count}x {name}" for name, count in sorted(by_type.items())
+            )
+            notes.append(
+                f"rate {rate:.2f}: {len(failed)} sessions died without "
+                f"recovery ({detail}) — vendor-runtime slice, no retry, "
+                "no CPU fallback"
+            )
+    notes.append(
+        "inflation columns are relative to the fault-free baseline row; "
+        "failed sessions are excluded from the percentiles"
+    )
+    return ExperimentResult(
+        experiment_id="chaos",
+        title=(
+            f"fault-rate sweep over {sessions} chaos-population sessions "
+            f"(seed {seed}): end-to-end percentiles and recovery ledger"
+        ),
+        headers=(
+            "fault rate", "sessions", "ok", "failed",
+            "p50 ms", "p99 ms", "p50 x", "p99 x",
+            "faults", "retries", "fallbacks",
+        ),
+        rows=rows,
+        series=series,
+        notes=notes,
+    )

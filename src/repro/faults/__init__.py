@@ -1,0 +1,57 @@
+"""Deterministic fault injection and graceful degradation.
+
+The paper's worst AI-tax cliffs are failure modes, not steady state:
+NNAPI partitions silently landing on the slow reference path (Fig. 5),
+FastRPC calls wedging behind a saturated DSP (Fig. 7), and thermal
+throttling eroding sustained performance (Fig. 11). This package makes
+those conditions first-class and *reproducible*: a seeded
+:class:`FaultPlan` schedules DSP subsystem restarts, FastRPC timeouts,
+session deaths, and thermal emergencies by call index or simulated
+time; a :class:`FaultInjector` feeds them into the FastRPC channel; a
+:class:`RetryPolicy` bounds the driver-level recovery; and a
+:class:`DegradationReport` accounts for every fault, retry, and
+runtime CPU fallback so the chaos experiment can price the AI-tax
+inflation faults cause.
+
+    from repro.faults import FaultPlan
+    config = PipelineConfig(target="nnapi", dtype="int8", fault_rate=0.2)
+    records = run_pipeline(config)   # completes via retries + fallback
+"""
+
+from repro.faults.plan import (
+    DEFAULT_THERMAL_JUMP_C,
+    FAULT_KINDS,
+    FAULT_SESSION_DEATH,
+    FAULT_SSR,
+    FAULT_THERMAL,
+    FAULT_TIMEOUT,
+    RAISING_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.recovery import (
+    NO_RETRY,
+    DegradationReport,
+    InvokeDegradation,
+    RetryPolicy,
+    fault_counters,
+)
+
+__all__ = [
+    "DEFAULT_THERMAL_JUMP_C",
+    "FAULT_KINDS",
+    "FAULT_SESSION_DEATH",
+    "FAULT_SSR",
+    "FAULT_THERMAL",
+    "FAULT_TIMEOUT",
+    "RAISING_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "NO_RETRY",
+    "DegradationReport",
+    "InvokeDegradation",
+    "RetryPolicy",
+    "fault_counters",
+]

@@ -1,0 +1,178 @@
+"""Deterministic fault plans: what goes wrong, and exactly when.
+
+A :class:`FaultPlan` is a pure value describing the faults a simulation
+will experience — explicit :class:`FaultSpec` entries pinned to a call
+index or a simulated time, plus an optional Bernoulli ``rate`` sampled
+per call index. Sampling is *stateless*: whether call ``i`` faults is a
+hash of ``(seed, i)``, so the decision is independent of execution
+order, worker count, and of any other RNG stream in the simulation —
+the same determinism contract the fleet runner already relies on.
+
+A :class:`FaultInjector` is the runtime consumer: one per inference
+session, it numbers the session's FastRPC calls and hands the channel
+the fault (if any) due for each call, keeping per-kind injection
+counts that degradation reports are audited against.
+"""
+
+import hashlib
+from dataclasses import dataclass, field
+
+#: Timeout: the call waits out the driver timeout and fails -ETIMEDOUT
+#: (a saturated or wedged DSP — the paper's Fig. 7 tail behaviour).
+FAULT_TIMEOUT = "timeout"
+#: Subsystem restart: the DSP reboots, every process mapping is lost,
+#: and the next session open pays the full remap/reload cost again.
+FAULT_SSR = "ssr"
+#: Session death: this channel's process mapping alone is torn down
+#: (driver killed the handle); reopening restores it.
+FAULT_SESSION_DEATH = "session_death"
+#: Transient thermal emergency: die temperature jumps and the throttle
+#: engages; the call itself proceeds (Fig. 11's degraded sustained
+#: performance, compressed into an event).
+FAULT_THERMAL = "thermal"
+
+FAULT_KINDS = (FAULT_TIMEOUT, FAULT_SSR, FAULT_SESSION_DEATH, FAULT_THERMAL)
+
+#: Kinds that surface to the caller as an exception (thermal degrades
+#: silently instead).
+RAISING_KINDS = (FAULT_TIMEOUT, FAULT_SSR, FAULT_SESSION_DEATH)
+
+#: Die-temperature jump of a thermal-emergency fault, °C.
+DEFAULT_THERMAL_JUMP_C = 15.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: a kind plus a trigger (call index or time)."""
+
+    kind: str
+    #: Fires on the channel's Nth invoke attempt (0-based), or...
+    at_call: int = None
+    #: ...on the first invoke attempt at or after this simulated time.
+    at_time_us: float = None
+    #: Kind-specific size (thermal: °C added to the die temperature).
+    magnitude: float = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if (self.at_call is None) == (self.at_time_us is None):
+            raise ValueError(
+                "exactly one of at_call / at_time_us must be set, got "
+                f"at_call={self.at_call!r} at_time_us={self.at_time_us!r}"
+            )
+
+
+def _unit_draw(seed, index, salt):
+    """Deterministic uniform in [0, 1) from (seed, call index, salt)."""
+    digest = hashlib.sha256(
+        f"faultplan:{seed}:{salt}:{index}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "little") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults for one session.
+
+    ``specs`` pin individual faults to a call index or simulated time;
+    ``rate`` additionally faults each call with the given probability,
+    decided by a stateless hash of ``(seed, call_index)`` so the plan
+    needs no RNG state and never perturbs other streams.
+    """
+
+    specs: tuple = ()
+    rate: float = 0.0
+    seed: int = 0
+    kinds: tuple = RAISING_KINDS
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        for kind in self.kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; known: {FAULT_KINDS}"
+                )
+        if self.rate > 0 and not self.kinds:
+            raise ValueError("rate > 0 requires at least one kind")
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(f"specs must be FaultSpec, got {spec!r}")
+
+    def __bool__(self):
+        return bool(self.specs) or self.rate > 0.0
+
+    @classmethod
+    def sampled(cls, rate, seed=0, kinds=RAISING_KINDS):
+        """A pure rate-based plan (the chaos experiment's knob)."""
+        return cls(rate=float(rate), seed=int(seed), kinds=tuple(kinds))
+
+    def fault_for_call(self, index):
+        """The fault due on invoke attempt ``index``, or ``None``.
+
+        Stateless: the answer for an index never depends on which other
+        indices were asked about, or in what order.
+        """
+        for spec in self.specs:
+            if spec.at_call == index:
+                return spec
+        if self.rate > 0.0 and _unit_draw(self.seed, index, "fire") < self.rate:
+            kind_draw = _unit_draw(self.seed, index, "kind")
+            kind = self.kinds[int(kind_draw * len(self.kinds))]
+            return FaultSpec(kind, at_call=index)
+        return None
+
+    def timed_specs(self):
+        """Time-triggered specs, soonest first."""
+        return sorted(
+            (spec for spec in self.specs if spec.at_time_us is not None),
+            key=lambda spec: spec.at_time_us,
+        )
+
+
+class FaultInjector:
+    """Runtime consumer of a :class:`FaultPlan` for one session.
+
+    The FastRPC channel calls :meth:`draw` once per invoke attempt;
+    the injector numbers attempts, resolves the plan, and keeps the
+    per-kind injection counts that a
+    :class:`~repro.faults.recovery.DegradationReport` is audited
+    against (``report.accounts_for(injector)``).
+    """
+
+    def __init__(self, plan):
+        self.plan = plan if plan is not None else FaultPlan()
+        self.call_index = 0
+        #: Injected fault counts by kind.
+        self.injected = {}
+        self._timed = self.plan.timed_specs()
+        self._timed_fired = 0
+
+    @property
+    def total_injected(self):
+        return sum(self.injected.values())
+
+    def draw(self, now):
+        """The fault to inject into the next invoke attempt, or ``None``.
+
+        Time-triggered specs fire on the first attempt at or after their
+        time (at most one per attempt); otherwise the plan's call-index
+        schedule decides.
+        """
+        index = self.call_index
+        self.call_index += 1
+        spec = None
+        if (
+            self._timed_fired < len(self._timed)
+            and now >= self._timed[self._timed_fired].at_time_us
+        ):
+            spec = self._timed[self._timed_fired]
+            self._timed_fired += 1
+        else:
+            spec = self.plan.fault_for_call(index)
+        if spec is not None:
+            self.injected[spec.kind] = self.injected.get(spec.kind, 0) + 1
+        return spec

@@ -18,12 +18,18 @@ from repro.fleet.cache import ResultCache
 from repro.fleet.population import (
     Axis,
     DevicePopulation,
+    chaos_population,
     expand_population,
     paper_population,
     resolve_workload,
 )
 from repro.fleet.runner import FleetResult, run_fleet
-from repro.fleet.session import SessionResult, SessionSpec, simulate_session
+from repro.fleet.session import (
+    SessionResult,
+    SessionSpec,
+    simulate_session,
+    simulate_session_payload,
+)
 
 __all__ = [
     "Axis",
@@ -35,9 +41,11 @@ __all__ = [
     "SessionSpec",
     "SliceStats",
     "aggregate_fleet",
+    "chaos_population",
     "expand_population",
     "paper_population",
     "resolve_workload",
     "run_fleet",
     "simulate_session",
+    "simulate_session_payload",
 ]

@@ -113,6 +113,8 @@ class FleetAggregate:
     #: Mean non-inference share of end-to-end time, whole fleet.
     fleet_tax_fraction: float
     notes: list = field(default_factory=list)
+    #: Sessions excluded because their simulation died (chaos runs).
+    failed_sessions: int = 0
 
     @property
     def cold_start_penalty(self):
@@ -159,9 +161,21 @@ class FleetAggregate:
 
 
 def aggregate_fleet(fleet):
-    """Reduce a :class:`~repro.fleet.runner.FleetResult` to statistics."""
-    results = list(fleet.results)
+    """Reduce a :class:`~repro.fleet.runner.FleetResult` to statistics.
+
+    Failed sessions (structured-error results from a chaos run) are
+    excluded from every statistic and reported via
+    ``failed_sessions``/notes; a fleet where *every* session failed
+    cannot be aggregated.
+    """
+    all_results = list(fleet.results)
+    results = [result for result in all_results if result.ok]
+    failed = len(all_results) - len(results)
     if not results:
+        if failed:
+            raise ValueError(
+                f"cannot aggregate: all {failed} fleet sessions failed"
+            )
         raise ValueError("cannot aggregate an empty fleet")
 
     by_context = {
@@ -212,6 +226,7 @@ def aggregate_fleet(fleet):
         steady=_slice_stats("steady-state", results),
         quantized_app_tax_fraction=quantized_app_tax,
         fleet_tax_fraction=fleet_tax,
+        failed_sessions=failed,
     )
     aggregate.notes = _shape_notes(aggregate)
     return aggregate
@@ -237,4 +252,9 @@ def _shape_notes(aggregate):
         f"cold-start p50 is {aggregate.cold_start_penalty:.2f}x "
         "steady-state p50"
     )
+    if aggregate.failed_sessions:
+        notes.append(
+            f"partial fleet: {aggregate.failed_sessions} sessions died "
+            "and are excluded from every statistic"
+        )
     return notes

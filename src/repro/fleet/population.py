@@ -85,6 +85,9 @@ class DevicePopulation:
     background: Axis
     #: Inference iterations per session (first one is the cold start).
     runs: int = 6
+    #: Per-call FastRPC fault probability applied to every session
+    #: (chaos experiments); 0 disables injection.
+    fault_rate: float = 0.0
 
     def __post_init__(self):
         for soc_key in self.soc.values:
@@ -107,9 +110,16 @@ class DevicePopulation:
                 f"start; aggregation needs steady-state runs), got "
                 f"{self.runs}"
             )
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError(
+                f"fault_rate must be in [0, 1], got {self.fault_rate}"
+            )
 
     def with_runs(self, runs):
         return replace(self, runs=runs)
+
+    def with_fault_rate(self, fault_rate):
+        return replace(self, fault_rate=fault_rate)
 
 
 def paper_population():
@@ -160,15 +170,41 @@ def paper_population():
     )
 
 
+def chaos_population():
+    """The fleet used by chaos experiments: paper mix + a vendor slice.
+
+    Identical to :func:`paper_population` except the target axis carries
+    a SNPE-DSP share. The vendor runtime performs no fault recovery
+    (no retry, no CPU fallback), so under injected faults that slice
+    produces genuinely *failed* sessions — exercising the partial
+    :class:`~repro.fleet.runner.FleetResult` path — while the NNAPI
+    slice degrades gracefully and the CPU slices are untouched.
+    """
+    base = paper_population()
+    return replace(base, target=_axis("target", [
+        ("nnapi", 0.45),
+        ("cpu", 0.25),
+        ("snpe-dsp", 0.20),
+        ("cpu1", 0.10),
+    ]))
+
+
 def resolve_workload(model_key, dtype, target):
     """Clamp a sampled (model, dtype, target) triple to a supported one.
 
     Independent axes can combine into pairs Table I rules out (e.g.
-    NasNet has no int8 variant, AlexNet no NNAPI path). Downgrade
-    deterministically — first the dtype to fp32, then the target to the
-    4-thread CPU path — so every expanded session is runnable.
+    NasNet has no int8 variant, AlexNet no NNAPI path, SNPE's DSP
+    runtime requires int8). Downgrade deterministically — first the
+    dtype to fp32, then the target to the 4-thread CPU path — so every
+    expanded session is runnable.
     """
     card = MODEL_CARDS[model_key]
+    if target == "snpe-dsp" and not (
+        _support_dtype(dtype) == "int8" and card.supports("cpu", "int8")
+    ):
+        # The vendor DSP runtime only takes quantized graphs; a model
+        # with no int8 variant runs on the CPU path instead.
+        return resolve_workload(model_key, dtype, "cpu")
     framework = "nnapi" if target == "nnapi" else "cpu"
     if card.supports(framework, _support_dtype(dtype)):
         return dtype, target
@@ -230,5 +266,6 @@ def expand_population(population, sessions, seed=0):
             seed=parent.spawn(session_id).seed,
             ambient_celsius=float(ambient),
             background=background,
+            fault_rate=population.fault_rate,
         ))
     return specs

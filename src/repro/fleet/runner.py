@@ -13,12 +13,18 @@ from dataclasses import dataclass, field
 
 from repro.fleet.cache import ResultCache
 from repro.fleet.population import expand_population, paper_population
-from repro.fleet.session import SessionResult, simulate_session, simulate_session_payload
+from repro.fleet.session import SessionResult, simulate_session_payload
 
 
 @dataclass
 class FleetResult:
-    """Everything a fleet run produced, in session-id order."""
+    """Everything a fleet run produced, in session-id order.
+
+    The fleet is allowed to be *partial*: sessions whose simulation
+    raised (e.g. an un-recovered injected fault killing a vendor-runtime
+    session) appear as :class:`SessionResult`\\ s carrying a structured
+    ``error`` instead of runs. ``ok_results`` / ``failures`` split them.
+    """
 
     seed: int
     workers: int
@@ -34,9 +40,29 @@ class FleetResult:
     def __iter__(self):
         return iter(self.results)
 
+    @property
+    def ok_results(self):
+        """Sessions that completed (possibly degraded)."""
+        return [result for result in self.results if result.ok]
+
+    @property
+    def failures(self):
+        """Sessions that died with a structured error."""
+        return [result for result in self.results if not result.ok]
+
+
+def _map_payloads(specs, workers):
+    """Run ``simulate_session_payload`` over specs, pooled or in-process."""
+    payloads = [spec.to_dict() for spec in specs]
+    if workers > 1 and len(payloads) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(simulate_session_payload, payloads))
+    return [simulate_session_payload(payload) for payload in payloads]
+
 
 def run_fleet(population=None, sessions=64, workers=1, seed=0,
-              cache_dir=None, runs=None):
+              cache_dir=None, runs=None, fault_rate=None,
+              session_retries=1):
     """Simulate a device population; returns a :class:`FleetResult`.
 
     Parameters
@@ -52,14 +78,28 @@ def run_fleet(population=None, sessions=64, workers=1, seed=0,
     seed:
         Root seed for both axis sampling and per-session streams.
     cache_dir:
-        Optional directory for the content-hash result cache.
+        Optional directory for the content-hash result cache. Failed
+        sessions are never cached: a later run with the fault plan
+        changed (or the bug fixed) must re-simulate them.
     runs:
         Override the population's per-session iteration count.
+    fault_rate:
+        Override the population's per-call FastRPC fault probability.
+    session_retries:
+        Extra attempts for a session whose simulation raised, before it
+        is recorded as a structured error result. Deterministic injected
+        faults fail identically on retry (and the error records how many
+        attempts were burned); the bound exists for transient host-level
+        failures in worker processes.
     """
     if population is None:
         population = paper_population()
     if runs is not None:
         population = population.with_runs(runs)
+    if fault_rate is not None:
+        population = population.with_fault_rate(fault_rate)
+    if session_retries < 0:
+        raise ValueError(f"session_retries must be >= 0, got {session_retries}")
     specs = expand_population(population, sessions, seed=seed)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
 
@@ -74,20 +114,28 @@ def run_fleet(population=None, sessions=64, workers=1, seed=0,
         else:
             pending.append(spec)
 
-    if workers > 1 and len(pending) > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            payloads = list(pool.map(
-                simulate_session_payload,
-                [spec.to_dict() for spec in pending],
-            ))
-        fresh = [SessionResult.from_dict(payload) for payload in payloads]
-    else:
-        fresh = [simulate_session(spec) for spec in pending]
+    attempts = {spec.session_id: 0 for spec in pending}
+    payload_by_id = {}
+    remaining = list(pending)
+    for round_index in range(session_retries + 1):
+        if not remaining:
+            break
+        retry = []
+        for spec, payload in zip(remaining, _map_payloads(remaining, workers)):
+            attempts[spec.session_id] += 1
+            if "error" in payload and round_index < session_retries:
+                retry.append(spec)
+            else:
+                payload_by_id[spec.session_id] = payload
+        remaining = retry
 
-    for spec, result in zip(pending, fresh):
-        if cache is not None:
-            cache.put(spec.digest(), result.to_dict())
-        by_id[spec.session_id] = result
+    for spec in pending:
+        payload = payload_by_id[spec.session_id]
+        if "error" in payload:
+            payload["error"]["attempts"] = attempts[spec.session_id]
+        elif cache is not None:
+            cache.put(spec.digest(), payload)
+        by_id[spec.session_id] = SessionResult.from_dict(payload)
 
     return FleetResult(
         seed=seed,

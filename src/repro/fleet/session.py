@@ -33,6 +33,8 @@ class SessionSpec:
     ambient_celsius: float
     #: ``None`` or ``(count, target)`` of background inference jobs.
     background: tuple
+    #: Per-call FastRPC fault probability (chaos experiments); 0 = off.
+    fault_rate: float = 0.0
 
     def to_config(self):
         """The equivalent :class:`~repro.apps.harness.PipelineConfig`."""
@@ -48,10 +50,16 @@ class SessionSpec:
             seed=self.seed,
             ambient_celsius=self.ambient_celsius,
             background=self.background,
+            fault_rate=self.fault_rate,
         )
 
     def to_dict(self):
-        return asdict(self)
+        payload = asdict(self)
+        if not payload["fault_rate"]:
+            # Omit the zero default so fault-free specs hash — and hence
+            # cache — exactly as they did before faults existed.
+            del payload["fault_rate"]
+        return payload
 
     @classmethod
     def from_dict(cls, payload):
@@ -72,12 +80,28 @@ class SessionSpec:
 
 @dataclass
 class SessionResult:
-    """Per-iteration stage latencies of one simulated session."""
+    """Per-iteration stage latencies of one simulated session.
+
+    A *failed* session — one whose simulation raised instead of
+    completing (e.g. an un-recovered injected fault on a vendor
+    runtime) — carries a structured ``error`` dict and an empty ``runs``
+    list; aggregation skips it, the cache never stores it.
+    """
 
     spec: SessionSpec
     #: One dict per iteration, keys :data:`STAGE_FIELDS`, simulated µs.
     runs: list
     from_cache: bool = False
+    #: Graceful-degradation summary (see
+    #: :meth:`repro.faults.DegradationReport.summary`), or ``None`` when
+    #: the session saw no faults.
+    degradation: dict = None
+    #: ``{"type", "message", "attempts"}`` when the session failed.
+    error: dict = None
+
+    @property
+    def ok(self):
+        return self.error is None
 
     @property
     def cold_run(self):
@@ -109,7 +133,12 @@ class SessionResult:
         return collection
 
     def to_dict(self):
-        return {"spec": self.spec.to_dict(), "runs": self.runs}
+        payload = {"spec": self.spec.to_dict(), "runs": self.runs}
+        if self.degradation is not None:
+            payload["degradation"] = self.degradation
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
 
     @classmethod
     def from_dict(cls, payload, from_cache=False):
@@ -117,6 +146,8 @@ class SessionResult:
             spec=SessionSpec.from_dict(payload["spec"]),
             runs=[dict(run) for run in payload["runs"]],
             from_cache=from_cache,
+            degradation=payload.get("degradation"),
+            error=payload.get("error"),
         )
 
 
@@ -124,22 +155,44 @@ def simulate_session(spec):
     """Simulate one session end to end; returns a :class:`SessionResult`.
 
     Pure function of the spec: same spec, same result, on any worker.
+    Raises whatever the simulation raises — an un-recovered injected
+    fault propagates to the caller; :func:`simulate_session_payload`
+    is the exception-capturing form the fleet runner uses.
     """
-    from repro.apps import run_pipeline
+    from repro.apps import run_pipeline_with_rig
 
-    records = run_pipeline(spec.to_config())
+    records, _sim, _soc, _kernel, packaging = run_pipeline_with_rig(
+        spec.to_config()
+    )
     runs = [
         {fieldname: getattr(run, fieldname) for fieldname in STAGE_FIELDS}
         for run in records
     ]
-    return SessionResult(spec=spec, runs=runs)
+    degradation = None
+    report = getattr(packaging.session, "degradation", None)
+    if report is not None:
+        summary = report.summary()
+        if (summary["faults"] or summary["retries"] or summary["fallbacks"]
+                or summary["compile_fallback"]):
+            degradation = summary
+    return SessionResult(spec=spec, runs=runs, degradation=degradation)
 
 
 def simulate_session_payload(payload):
     """Dict-in/dict-out wrapper of :func:`simulate_session`.
 
     Top-level so :class:`concurrent.futures.ProcessPoolExecutor` can
-    pickle it by reference for worker processes.
+    pickle it by reference for worker processes. Never raises: a failed
+    simulation comes back as a structured error payload, so one dying
+    session cannot take the whole fleet down with it.
     """
-    result = simulate_session(SessionSpec.from_dict(payload))
+    spec = SessionSpec.from_dict(payload)
+    try:
+        result = simulate_session(spec)
+    except Exception as exc:  # noqa: BLE001 - fleet boundary
+        return {
+            "spec": spec.to_dict(),
+            "runs": [],
+            "error": {"type": type(exc).__name__, "message": str(exc)},
+        }
     return result.to_dict()

@@ -13,7 +13,9 @@ on the slow reference path, and end-to-end latency degrades ~7x versus
 just using the tuned single-thread CPU kernels directly.
 """
 
+from repro.android.fastrpc import FastRpcSessionDeath, FastRpcTimeout
 from repro.android.thread import Sleep, WaitFor, Work
+from repro.faults.recovery import DegradationReport, fault_counters
 from repro.frameworks.base import (
     FAST_SINGLE_ANSWER,
     EXECUTION_PREFERENCES,
@@ -50,7 +52,7 @@ class NnapiSession(InferenceSession):
 
     def __init__(self, kernel, model, preference=FAST_SINGLE_ANSWER,
                  min_accelerator_run=_MIN_ACCELERATOR_RUN, threads=4,
-                 feature_level=None):
+                 feature_level=None, fault_injector=None):
         if preference not in EXECUTION_PREFERENCES:
             raise ValueError(f"unknown execution preference {preference!r}")
         self.kernel = kernel
@@ -70,6 +72,14 @@ class NnapiSession(InferenceSession):
         self.reference_fallback = False
         self.prepared = False
         self._channel = None
+        #: Optional :class:`~repro.faults.plan.FaultInjector` driving
+        #: deterministic DSP failures through the FastRPC channel.
+        self.fault_injector = fault_injector
+        #: Ledger of faults, retries, and runtime CPU fallbacks — the
+        #: graceful-degradation account for this session.
+        self.degradation = DegradationReport()
+        self._invoke_fallbacks = 0
+        self._invoke_fallback_us = 0.0
         self.stats = InferenceStats(model_name=model.name, framework="nnapi")
 
     # -- compilation -----------------------------------------------------
@@ -143,10 +153,30 @@ class NnapiSession(InferenceSession):
                 # start of the paper's Fig. 6 NNAPI profile, present even
                 # when execution later falls back to the CPU.
                 channel = self._dsp_channel()
+                before, retries_before = self._fault_snapshot()
                 with probe(self.kernel, "nnapi", "driver_probe:dsp"):
-                    yield from channel.open_session()
-                    yield from channel.invoke(
-                        4_096, 256, dsp_compute_us=150.0, label="nnapi:probe"
+                    try:
+                        yield from channel.open_session()
+                        yield from channel.invoke_retrying(
+                            4_096, 256, dsp_compute_us=150.0,
+                            label="nnapi:probe",
+                        )
+                    except (FastRpcTimeout, FastRpcSessionDeath):
+                        # The driver never came up: NNAPI abandons the
+                        # accelerator plan at compile time and the whole
+                        # model runs on reference kernels (the Fig. 5
+                        # escape hatch, reached via a dead driver
+                        # instead of fragmentation).
+                        self.reference_fallback = True
+                        self.degradation.compile_fallback = True
+                        self.partitions = [
+                            Partition("cpu-reference", tuple(self.model.ops))
+                        ]
+                after, retries_after = self._fault_snapshot()
+                if after != before or retries_after != retries_before:
+                    self.degradation.record_invoke(
+                        -1, before, after,
+                        retries=retries_after - retries_before,
                     )
             if "gpu" in devices:
                 gpu = self.kernel.soc.gpu
@@ -168,9 +198,19 @@ class NnapiSession(InferenceSession):
             from repro.android.fastrpc import FastRpcChannel
 
             self._channel = FastRpcChannel(
-                self.kernel, process_id=self.kernel.allocate_pid()
+                self.kernel, process_id=self.kernel.allocate_pid(),
+                fault_injector=self.fault_injector,
             )
         return self._channel
+
+    def _fault_snapshot(self):
+        """(fault counters, retries) of the DSP channel, zeros if none."""
+        if self._channel is None:
+            return {}, 0
+        return (
+            fault_counters(self._channel.stats),
+            self._channel.stats.retries,
+        )
 
     # -- execution ---------------------------------------------------------
 
@@ -188,6 +228,10 @@ class NnapiSession(InferenceSession):
         start = kernel.now
         crossings = 0
         previous_device = None
+        invoke_index = self.stats.invocations
+        faults_before, retries_before = self._fault_snapshot()
+        self._invoke_fallbacks = 0
+        self._invoke_fallback_us = 0.0
         for partition in self.partitions:
             if previous_device is not None and partition.device != previous_device:
                 crossings += 1
@@ -205,6 +249,13 @@ class NnapiSession(InferenceSession):
                        index=partition.index, ops=partition.op_count):
                 yield from self._run_partition(partition)
         duration = kernel.now - start
+        faults_after, retries_after = self._fault_snapshot()
+        self.degradation.record_invoke(
+            invoke_index, faults_before, faults_after,
+            retries=retries_after - retries_before,
+            fallbacks=self._invoke_fallbacks,
+            fallback_us=self._invoke_fallback_us,
+        )
         self.stats.partition_crossings += crossings
         self.stats.record_invoke(duration)
         return duration
@@ -246,15 +297,36 @@ class NnapiSession(InferenceSession):
         elif partition.device == "dsp":
             in_bytes, out_bytes = self._boundary_bytes(partition)
             compute = soc.dsp.graph_time_us(partition.ops, "int8")
-            before = self._dsp_channel().stats.offload_overhead_us
-            yield from self._dsp_channel().invoke(
-                in_bytes, out_bytes, compute,
-                label=f"nnapi:{self.model.name}[{partition.index}]",
-            )
-            self.stats.offload_us_total += (
-                self._dsp_channel().stats.offload_overhead_us - before
-            )
-            self.stats.compute_us_total += compute
+            channel = self._dsp_channel()
+            before = channel.stats.offload_overhead_us
+            try:
+                yield from channel.invoke_retrying(
+                    in_bytes, out_bytes, compute,
+                    label=f"nnapi:{self.model.name}[{partition.index}]",
+                )
+            except (FastRpcTimeout, FastRpcSessionDeath) as exc:
+                # Runtime CPU fallback: retries are exhausted, so the
+                # runtime re-runs just this partition on its portable
+                # reference kernels and the invoke completes — degraded,
+                # never dead. (Distinct from the compile-time
+                # ``reference_fallback``, which never tries the DSP.)
+                self.stats.offload_us_total += (
+                    channel.stats.offload_overhead_us - before
+                )
+                work = graph_cpu_work_us(
+                    partition.ops, self.model.dtype, IMPL_REFERENCE
+                )
+                with probe(kernel, "nnapi", "runtime_fallback",
+                           index=partition.index, cause=type(exc).__name__):
+                    yield Work(work, label="nnapi:runtime_fallback")
+                self.stats.compute_us_total += work
+                self._invoke_fallbacks += 1
+                self._invoke_fallback_us += work
+            else:
+                self.stats.offload_us_total += (
+                    channel.stats.offload_overhead_us - before
+                )
+                self.stats.compute_us_total += compute
         elif partition.device == "gpu":
             in_bytes, out_bytes = self._boundary_bytes(partition)
             yield Work(soc.memory.dram_copy_us(in_bytes), label="nnapi:upload")

@@ -9,6 +9,7 @@ delegate's.
 """
 
 from repro.android.thread import Sleep, Work
+from repro.faults.recovery import NO_RETRY, DegradationReport, fault_counters
 from repro.frameworks.base import InferenceSession, InferenceStats, UnsupportedModelError
 from repro.frameworks.delegates import SNPE_DSP_TUNING
 from repro.frameworks.support import supports_op
@@ -24,7 +25,8 @@ _DSP_PREP_PER_OP_US = 7.0
 class SnpeSession(InferenceSession):
     """An SNPE network handle on the chosen runtime ("dsp" or "cpu")."""
 
-    def __init__(self, kernel, model, runtime="dsp", threads=4):
+    def __init__(self, kernel, model, runtime="dsp", threads=4,
+                 fault_injector=None):
         if runtime not in ("dsp", "cpu"):
             raise ValueError(f"unknown SNPE runtime {runtime!r}")
         self.kernel = kernel
@@ -33,6 +35,12 @@ class SnpeSession(InferenceSession):
         self.threads = threads
         self.prepared = False
         self._channel = None
+        #: Fault injection on the DSP channel. The vendor runtime does
+        #: NOT recover: FastRPC errors propagate to the application
+        #: unchanged (no retry, no CPU fallback) — exactly how a fleet
+        #: session dies rather than degrades.
+        self.fault_injector = fault_injector
+        self.degradation = DegradationReport()
         self.stats = InferenceStats(
             model_name=model.name, framework=f"snpe-{runtime}"
         )
@@ -63,7 +71,8 @@ class SnpeSession(InferenceSession):
             from repro.android.fastrpc import FastRpcChannel
 
             self._channel = FastRpcChannel(
-                self.kernel, process_id=self.kernel.allocate_pid()
+                self.kernel, process_id=self.kernel.allocate_pid(),
+                fault_injector=self.fault_injector, retry_policy=NO_RETRY,
             )
             yield from self._channel.open_session()
             yield Sleep(self.model.op_count * _DSP_PREP_PER_OP_US)
@@ -80,10 +89,18 @@ class SnpeSession(InferenceSession):
                 / SNPE_DSP_TUNING
             )
             in_bytes = self.model.input_spec.numel * dtype_bytes("int8")
-            yield from self._channel.invoke(
-                in_bytes, self.model.output_bytes, compute,
-                label=f"snpe:{self.model.name}",
-            )
+            before = fault_counters(self._channel.stats)
+            try:
+                yield from self._channel.invoke(
+                    in_bytes, self.model.output_bytes, compute,
+                    label=f"snpe:{self.model.name}",
+                )
+            finally:
+                after = fault_counters(self._channel.stats)
+                if after != before:
+                    self.degradation.record_invoke(
+                        self.stats.invocations, before, after
+                    )
             self.stats.compute_us_total += compute
         else:
             work = yield from run_graph_on_cpu(

@@ -42,6 +42,13 @@ SCENARIOS = {
         model_key="mobilenet_v1", dtype="int8", context="app",
         target="nnapi", runs=8, background=(2, "nnapi"),
     ),
+    # The quickstart app under injected FastRPC faults: retry spans,
+    # fault instants, and runtime CPU fallbacks on the trace
+    # (docs/faults.md).
+    "chaos": dict(
+        model_key="mobilenet_v1", dtype="int8", context="app",
+        target="nnapi", runs=10, fault_rate=0.3, seed=7,
+    ),
 }
 
 #: Everything a recorded scenario hands back; ``sim.trace`` is the

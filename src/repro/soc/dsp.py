@@ -66,3 +66,15 @@ class Dsp:
 
     def unmap_process(self, process_id):
         self.mapped_processes.discard(process_id)
+
+    def restart(self):
+        """Subsystem restart (SSR): drop every process mapping.
+
+        Models the Hexagon watchdog rebooting the DSP: all FastRPC
+        sessions die at once and each client must remap (paying the
+        session-open cost again) before its next call. Returns the
+        number of mappings dropped.
+        """
+        dropped = len(self.mapped_processes)
+        self.mapped_processes.clear()
+        return dropped

@@ -1,0 +1,142 @@
+"""FaultPlan/FaultInjector: deterministic, order-independent scheduling."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FAULT_SESSION_DEATH,
+    FAULT_SSR,
+    FAULT_THERMAL,
+    FAULT_TIMEOUT,
+    RAISING_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+def test_spec_requires_exactly_one_trigger():
+    FaultSpec(FAULT_TIMEOUT, at_call=3)
+    FaultSpec(FAULT_SSR, at_time_us=1_000.0)
+    with pytest.raises(ValueError):
+        FaultSpec(FAULT_TIMEOUT)
+    with pytest.raises(ValueError):
+        FaultSpec(FAULT_TIMEOUT, at_call=1, at_time_us=5.0)
+
+
+def test_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        FaultSpec("meltdown", at_call=0)
+
+
+def test_plan_validates_rate_and_kinds():
+    with pytest.raises(ValueError):
+        FaultPlan(rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(rate=0.1, kinds=())
+    with pytest.raises(ValueError):
+        FaultPlan(rate=0.1, kinds=("meltdown",))
+    with pytest.raises(TypeError):
+        FaultPlan(specs=("not-a-spec",))
+
+
+def test_plan_truthiness():
+    assert not FaultPlan()
+    assert FaultPlan(rate=0.1)
+    assert FaultPlan(specs=(FaultSpec(FAULT_TIMEOUT, at_call=0),))
+
+
+def test_explicit_spec_pins_to_call_index():
+    spec = FaultSpec(FAULT_SSR, at_call=4)
+    plan = FaultPlan(specs=(spec,))
+    assert plan.fault_for_call(4) is spec
+    assert all(plan.fault_for_call(i) is None for i in range(10) if i != 4)
+
+
+def test_sampling_is_stateless_and_order_independent():
+    plan = FaultPlan.sampled(rate=0.3, seed=42)
+    forward = [plan.fault_for_call(i) for i in range(200)]
+    backward = [plan.fault_for_call(i) for i in reversed(range(200))]
+    assert forward == list(reversed(backward))
+    # A fresh equal plan answers identically: no hidden state anywhere.
+    again = FaultPlan.sampled(rate=0.3, seed=42)
+    assert [again.fault_for_call(i) for i in range(200)] == forward
+
+
+def test_sampling_rate_is_roughly_honoured():
+    plan = FaultPlan.sampled(rate=0.25, seed=7)
+    hits = sum(plan.fault_for_call(i) is not None for i in range(2_000))
+    assert 0.20 < hits / 2_000 < 0.30
+
+
+def test_sampled_kinds_all_occur_and_stay_within_the_menu():
+    plan = FaultPlan.sampled(rate=0.5, seed=3)
+    kinds = {
+        plan.fault_for_call(i).kind
+        for i in range(500)
+        if plan.fault_for_call(i) is not None
+    }
+    assert kinds == set(RAISING_KINDS)
+    thermal_only = FaultPlan.sampled(rate=0.5, seed=3, kinds=(FAULT_THERMAL,))
+    kinds = {
+        thermal_only.fault_for_call(i).kind
+        for i in range(100)
+        if thermal_only.fault_for_call(i) is not None
+    }
+    assert kinds == {FAULT_THERMAL}
+
+
+def test_different_seeds_give_different_schedules():
+    a = FaultPlan.sampled(rate=0.2, seed=1)
+    b = FaultPlan.sampled(rate=0.2, seed=2)
+    fire_a = [a.fault_for_call(i) is not None for i in range(300)]
+    fire_b = [b.fault_for_call(i) is not None for i in range(300)]
+    assert fire_a != fire_b
+
+
+def test_timed_specs_sorted_soonest_first():
+    late = FaultSpec(FAULT_TIMEOUT, at_time_us=9_000.0)
+    early = FaultSpec(FAULT_SSR, at_time_us=1_000.0)
+    by_call = FaultSpec(FAULT_SESSION_DEATH, at_call=0)
+    plan = FaultPlan(specs=(late, by_call, early))
+    assert plan.timed_specs() == [early, late]
+
+
+def test_injector_numbers_attempts_and_counts_injections():
+    plan = FaultPlan(specs=(
+        FaultSpec(FAULT_TIMEOUT, at_call=1),
+        FaultSpec(FAULT_TIMEOUT, at_call=2),
+        FaultSpec(FAULT_SSR, at_call=4),
+    ))
+    injector = FaultInjector(plan)
+    drawn = [injector.draw(now=float(i)) for i in range(6)]
+    assert [d.kind if d else None for d in drawn] == [
+        None, FAULT_TIMEOUT, FAULT_TIMEOUT, None, FAULT_SSR, None,
+    ]
+    assert injector.injected == {FAULT_TIMEOUT: 2, FAULT_SSR: 1}
+    assert injector.total_injected == 3
+    assert injector.call_index == 6
+
+
+def test_injector_fires_timed_spec_on_first_attempt_at_or_after():
+    plan = FaultPlan(specs=(FaultSpec(FAULT_SSR, at_time_us=5_000.0),))
+    injector = FaultInjector(plan)
+    assert injector.draw(now=0.0) is None
+    assert injector.draw(now=4_999.9) is None
+    fired = injector.draw(now=6_000.0)
+    assert fired.kind == FAULT_SSR
+    # Fires exactly once.
+    assert injector.draw(now=7_000.0) is None
+    assert injector.injected == {FAULT_SSR: 1}
+
+
+def test_injector_with_none_plan_never_faults():
+    injector = FaultInjector(None)
+    assert all(injector.draw(now=float(i)) is None for i in range(20))
+    assert injector.total_injected == 0
+
+
+def test_kind_constants_are_consistent():
+    assert set(RAISING_KINDS) < set(FAULT_KINDS)
+    assert FAULT_THERMAL in FAULT_KINDS
+    assert FAULT_THERMAL not in RAISING_KINDS

@@ -1,0 +1,149 @@
+"""Graceful degradation above the channel: NNAPI recovers, SNPE dies."""
+
+import pytest
+
+from repro.android import Kernel
+from repro.android.fastrpc import FastRpcSessionDeath, FastRpcTimeout
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.faults.plan import FAULT_SSR, FAULT_TIMEOUT
+from repro.frameworks import NnapiSession, SnpeSession
+from repro.models import load_model
+from repro.sim import Simulator
+from repro.soc import make_soc
+
+
+def make_rig(seed=0, trace=False):
+    sim = Simulator(seed=seed, trace=trace)
+    soc = make_soc(sim, "sd845", governor_mode="performance")
+    kernel = Kernel(sim, soc, enable_dvfs=False)
+    return sim, soc, kernel
+
+
+def run_session(sim, kernel, session, invokes):
+    durations = []
+
+    def body():
+        yield from session.prepare()
+        for _ in range(invokes):
+            duration = yield from session.invoke()
+            durations.append(duration)
+
+    thread = kernel.spawn_on_big(body(), name="app")
+    sim.run(until=thread.done)
+    return durations
+
+
+def test_nnapi_completes_every_invoke_under_sampled_faults():
+    sim, soc, kernel = make_rig(seed=3)
+    injector = FaultInjector(FaultPlan.sampled(rate=0.35, seed=3))
+    session = NnapiSession(
+        kernel, load_model("mobilenet_v1", "int8"), fault_injector=injector
+    )
+    durations = run_session(sim, kernel, session, invokes=10)
+    # The acceptance bar: no uncaught FastRPC exception, all invokes done.
+    assert len(durations) == 10
+    assert all(duration > 0 for duration in durations)
+    assert injector.total_injected > 0
+    # ...and the degradation report accounts for 100% of injected faults.
+    assert session.degradation.accounts_for(injector)
+    summary = session.degradation.summary()
+    assert sum(summary["faults"].values()) == injector.total_injected
+
+
+def test_nnapi_runtime_fallback_reruns_partition_on_cpu():
+    sim, soc, kernel = make_rig(trace=True)
+    # Burn the probe-free calls: every DSP attempt from call 1 onward
+    # faults, so retries exhaust and the partition re-runs on the CPU.
+    injector = FaultInjector(FaultPlan(specs=tuple(
+        FaultSpec(FAULT_TIMEOUT, at_call=index) for index in range(1, 12)
+    )))
+    session = NnapiSession(
+        kernel, load_model("mobilenet_v1", "int8"), fault_injector=injector
+    )
+    durations = run_session(sim, kernel, session, invokes=2)
+    assert len(durations) == 2
+    report = session.degradation
+    assert report.total_fallbacks >= 1
+    assert report.fallback_us > 0
+    assert report.accounts_for(injector)
+    spans = sim.trace.spans_on("nnapi")
+    assert any(span.label == "runtime_fallback" for span in spans)
+
+
+def test_nnapi_compile_probe_failure_falls_back_to_reference():
+    sim, soc, kernel = make_rig()
+    # Calls 0..2 are the driver probe and its retries: prepare() cannot
+    # reach the DSP at all and compiles the whole model for the CPU
+    # reference path.
+    injector = FaultInjector(FaultPlan(specs=tuple(
+        FaultSpec(FAULT_SSR, at_call=index) for index in range(3)
+    )))
+    session = NnapiSession(
+        kernel, load_model("mobilenet_v1", "int8"), fault_injector=injector
+    )
+    durations = run_session(sim, kernel, session, invokes=3)
+    assert len(durations) == 3
+    assert session.reference_fallback
+    assert session.degradation.compile_fallback
+    assert [p.device for p in session.partitions] == ["cpu-reference"]
+    assert session.degradation.accounts_for(injector)
+
+
+def test_nnapi_degradation_report_indexes_every_invoke():
+    sim, soc, kernel = make_rig(seed=1)
+    injector = FaultInjector(FaultPlan.sampled(rate=0.3, seed=1))
+    session = NnapiSession(
+        kernel, load_model("mobilenet_v1", "int8"), fault_injector=injector
+    )
+    run_session(sim, kernel, session, invokes=6)
+    indexes = [entry.index for entry in session.degradation.invokes]
+    # Compile-time probe faults land on a pseudo-invoke at index -1;
+    # every real invoke then gets exactly one ledger entry, in order.
+    assert [i for i in indexes if i >= 0] == list(range(6))
+    assert all(i == -1 for i in indexes if i < 0)
+
+
+def test_snpe_does_not_recover():
+    sim, soc, kernel = make_rig()
+    injector = FaultInjector(FaultPlan(specs=(
+        FaultSpec(FAULT_TIMEOUT, at_call=1),
+    )))
+    session = SnpeSession(
+        kernel, load_model("mobilenet_v1", "int8"), runtime="dsp",
+        fault_injector=injector,
+    )
+    failures = []
+
+    def body():
+        yield from session.prepare()
+        yield from session.invoke()
+        try:
+            yield from session.invoke()
+        except FastRpcTimeout:
+            failures.append("timeout")
+
+    thread = kernel.spawn_on_big(body(), name="app")
+    sim.run(until=thread.done)
+    # Vendor runtime: no retry, no fallback — the error reaches the app.
+    assert failures == ["timeout"]
+    assert session._channel.stats.retries == 0
+    assert session.degradation.total_fallbacks == 0
+    # The observed fault is still on the ledger.
+    assert session.degradation.faults_by_kind == {"timeout": 1}
+
+
+def test_nnapi_fault_recovery_is_deterministic():
+    def run_once():
+        sim, soc, kernel = make_rig(seed=9)
+        injector = FaultInjector(FaultPlan.sampled(rate=0.35, seed=9))
+        session = NnapiSession(
+            kernel, load_model("mobilenet_v1", "int8"),
+            fault_injector=injector,
+        )
+        durations = run_session(sim, kernel, session, invokes=8)
+        return durations, session.degradation.summary()
+
+    durations_a, summary_a = run_once()
+    durations_b, summary_b = run_once()
+    assert durations_a == durations_b
+    assert summary_a == summary_b

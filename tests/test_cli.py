@@ -132,3 +132,15 @@ def test_summary_command(capsys):
     out = capsys.readouterr().out
     assert "all takeaways hold:       yes" in out
     assert "registered experiments" in out
+
+
+def test_chaos_command(capsys):
+    assert main([
+        "chaos", "--sessions", "6", "--runs", "2", "--seed", "5",
+        "--fault-rate", "0.25",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "[chaos]" in out
+    assert "fault rate" in out
+    assert "failed sessions: 1" in out
+    assert "died without recovery" in out
