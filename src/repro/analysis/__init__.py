@@ -1,0 +1,73 @@
+"""Correctness tooling: determinism lint and the simulation sanitizer.
+
+Two layers guard the property every regenerated figure depends on —
+that a seeded simulation replays bit-identically:
+
+- :mod:`repro.analysis.lint` — an AST linter (``python -m repro lint``)
+  for the hazard patterns that have actually broken replay here
+  (wall-clock reads, global RNGs, ``id()``-derived keys, process-global
+  counters, unordered iteration feeding artifacts);
+- :mod:`repro.analysis.sanitize` — a runtime sanitizer
+  (``REPRO_SANITIZE=1`` / ``--sanitize``) that checks engine invariants
+  while a simulation runs, plus a dual-run sha256 digest mode that
+  replays a scenario twice and pinpoints the first divergent event.
+
+``docs/determinism.md`` catalogues the hazard classes and the
+suppression workflow.
+"""
+
+from repro.analysis.baseline import (
+    BASELINE_NAME,
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.lint import (
+    DEFAULT_CONFIG,
+    RULES,
+    RULES_BY_ID,
+    Finding,
+    LintConfig,
+    LintError,
+    lint_paths,
+    lint_source,
+    render_findings,
+)
+from repro.analysis.sanitize import (
+    DigestCollector,
+    DualRunReport,
+    EventRecord,
+    EventStream,
+    Sanitizer,
+    SanitizerError,
+    audit_accounting,
+    collecting,
+    dual_run,
+)
+
+__all__ = [
+    "BASELINE_NAME",
+    "BaselineEntry",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+    "DEFAULT_CONFIG",
+    "RULES",
+    "RULES_BY_ID",
+    "Finding",
+    "LintConfig",
+    "LintError",
+    "lint_paths",
+    "lint_source",
+    "render_findings",
+    "DigestCollector",
+    "DualRunReport",
+    "EventRecord",
+    "EventStream",
+    "Sanitizer",
+    "SanitizerError",
+    "audit_accounting",
+    "collecting",
+    "dual_run",
+]

@@ -1,0 +1,647 @@
+"""Determinism lint: AST rules for the hazards that break replay.
+
+Every figure the reproduction regenerates rests on one property: a
+seeded simulation replays bit-identically. The hazards that broke that
+property in the past (``id(self)``-derived pids, the process-global
+``SimThread._ids`` iterator) were each found *after* traces came out
+different across reruns and fixed by hand. This linter turns the whole
+hazard class into a blocking check instead of a code-review hope.
+
+Rules (see :data:`RULES` and ``docs/determinism.md``)
+-----------------------------------------------------
+
+========================  =============================================
+``wall-clock``            host clock reads outside allowlisted
+                          calibration modules
+``global-random``         the process-global ``random`` module, unseeded
+                          ``random.Random()`` / ``numpy`` legacy global
+                          generators
+``id-as-key``             ``id(...)`` values flowing into keys, sort
+                          orders, or trace fields
+``module-counter``        ``itertools.count`` / class-level mutable
+                          counters shared across simulations
+``set-iteration``         iterating a set (hash order) without
+                          ``sorted``
+``unsorted-items``        ``dict.items()`` iteration in artifact-export
+                          modules without ``sorted``
+``bare-except``           handlers that swallow everything, including
+                          injected faults
+``unpaired-span``         a ``begin()`` span handle that is discarded
+                          and therefore can never be ended
+========================  =============================================
+
+Suppression is explicit: a line pragma ``# repro: allow[rule-id]``, a
+file pragma ``# repro: allow-file[rule-id]``, or a machine-readable
+baseline entry (:mod:`repro.analysis.baseline`). Unknown rule ids in
+either are hard errors so suppressions cannot rot.
+"""
+
+import ast
+import fnmatch
+import io
+import pathlib
+import re
+import tokenize
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """One lint rule: stable id, what it catches, and how to fix it."""
+
+    id: str
+    summary: str
+    hint: str
+
+
+RULES = (
+    RuleInfo(
+        "wall-clock",
+        "wall-clock read in simulation code",
+        "derive time from Simulator.now (simulated microseconds); host "
+        "clocks differ run to run. Calibration harnesses belong in a "
+        "module allowlisted via LintConfig.wallclock_allow.",
+    ),
+    RuleInfo(
+        "global-random",
+        "process-global or unseeded random source",
+        "draw from the simulation's named streams (repro.sim.rng."
+        "RngStreams) or construct a generator from an explicit seed.",
+    ),
+    RuleInfo(
+        "id-as-key",
+        "id(...) used as an identity token",
+        "CPython object addresses change across runs; allocate "
+        "deterministic ids (Kernel.allocate_pid/allocate_tid, "
+        "Simulator.next_id) or compare with `is`.",
+    ),
+    RuleInfo(
+        "module-counter",
+        "interpreter-global mutable counter",
+        "itertools.count and class-level _ids survive across "
+        "simulations in one process; allocate from the owning "
+        "Simulator/Kernel (Simulator.next_id) instead.",
+    ),
+    RuleInfo(
+        "set-iteration",
+        "iteration over a set",
+        "set order is hash-seed and address dependent; wrap the set in "
+        "sorted(...) before iterating or feeding it to list()/tuple().",
+    ),
+    RuleInfo(
+        "unsorted-items",
+        "unsorted dict.items() in an artifact-export module",
+        "wrap in sorted(...) (use key=... to preserve a deliberate "
+        "display order) so exported artifacts and aggregate math do "
+        "not depend on insertion order.",
+    ),
+    RuleInfo(
+        "bare-except",
+        "handler swallows every exception",
+        "catch the specific exceptions you can recover from; a blanket "
+        "handler hides injected faults and sanitizer violations.",
+    ),
+    RuleInfo(
+        "unpaired-span",
+        "begin() span handle discarded",
+        "keep the handle and call end(span), or use the probes.span "
+        "context manager; a discarded handle leaves the span open "
+        "forever.",
+    ),
+)
+
+RULES_BY_ID = {rule.id: rule for rule in RULES}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def key(self):
+        """Identity used for baseline matching and de-duplication."""
+        return (self.path, self.line, self.rule)
+
+    def render(self):
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class LintError:
+    """A configuration problem (bad pragma, stale/unknown baseline).
+
+    Errors are not findings: they mean the lint run itself cannot be
+    trusted, so the CLI exits 2 instead of 1.
+    """
+
+    path: str
+    line: int
+    message: str
+
+    def render(self):
+        return f"{self.path}:{self.line}: error: {self.message}"
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Where rules apply.
+
+    ``wallclock_allow`` are fnmatch globs (matched against the resolved
+    posix path) naming modules allowed to read host clocks — the
+    calibration harness that *measures* the host by design.
+    ``export_modules`` are the modules whose output reaches artifacts
+    (traces, tables, JSON, fleet aggregates); the ``unsorted-items``
+    rule fires only there.
+    """
+
+    wallclock_allow: tuple = ("*/processing/calibrate.py",)
+    export_modules: tuple = (
+        "*/observability/*",
+        "*/experiments/*",
+        "*/core/export.py",
+        "*/core/report.py",
+        "*/sim/export.py",
+        "*/fleet/aggregate.py",
+    )
+
+
+DEFAULT_CONFIG = LintConfig()
+
+#: Dotted call targets that read host clocks.
+_WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: numpy.random module-level functions backed by the legacy global state.
+_NUMPY_LEGACY = frozenset(
+    {
+        "beta",
+        "binomial",
+        "choice",
+        "exponential",
+        "normal",
+        "permutation",
+        "poisson",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "seed",
+        "shuffle",
+        "standard_normal",
+        "uniform",
+    }
+)
+
+#: Modules whose imports the analyzer resolves through aliases.
+_TRACKED_ROOTS = ("time", "datetime", "random", "itertools", "numpy")
+
+_COUNTER_NAME = re.compile(r"^_?(ids?|counters?|count|seq|sequence|next_\w+)$")
+
+_PRAGMA = re.compile(r"#\s*repro:\s*(allow|allow-file)\[([^\]]*)\]")
+
+
+def parse_pragmas(source, path):
+    """Extract suppression pragmas from ``source``.
+
+    Returns ``(line_allows, file_allows, errors)`` where ``line_allows``
+    maps a line number to the rule ids allowed on that line. Unknown
+    rule ids are :class:`LintError`\\ s — a typo'd pragma must fail the
+    run, not silently suppress nothing (or worse, keep "working" after
+    the rule it named is renamed).
+    """
+    line_allows = {}
+    file_allows = set()
+    errors = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        tokens = []
+    # Only real COMMENT tokens count: a pragma example quoted in a
+    # docstring or help string must not suppress anything.
+    comments = [
+        (token.start[0], token.string)
+        for token in tokens
+        if token.type == tokenize.COMMENT
+    ]
+    for lineno, text in comments:
+        for match in _PRAGMA.finditer(text):
+            kind, raw = match.group(1), match.group(2)
+            rules = {part.strip() for part in raw.split(",") if part.strip()}
+            if not rules:
+                errors.append(
+                    LintError(path, lineno, "empty repro pragma rule list")
+                )
+                continue
+            unknown = sorted(rules - set(RULES_BY_ID))
+            if unknown:
+                errors.append(
+                    LintError(
+                        path,
+                        lineno,
+                        f"unknown rule id(s) in pragma: {', '.join(unknown)} "
+                        f"(known: {', '.join(sorted(RULES_BY_ID))})",
+                    )
+                )
+                rules &= set(RULES_BY_ID)
+            if kind == "allow":
+                line_allows.setdefault(lineno, set()).update(rules)
+            else:
+                file_allows.update(rules)
+    return line_allows, file_allows, errors
+
+
+class _Analyzer(ast.NodeVisitor):
+    """Single-pass rule engine over one module's AST."""
+
+    def __init__(self, path, config, resolved_path):
+        self.path = path
+        self.config = config
+        self.findings = []
+        self._aliases = {}
+        self._parents = {}
+        self._wallclock_allowed = _matches_any(
+            resolved_path, config.wallclock_allow
+        )
+        self._is_export_module = _matches_any(
+            resolved_path, config.export_modules
+        )
+
+    # -- plumbing ------------------------------------------------------
+
+    def run(self, tree):
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[child] = node
+        self._collect_imports(tree)
+        self.visit(tree)
+        unique = {}
+        for finding in self.findings:
+            unique.setdefault(finding.key(), finding)
+        return [unique[key] for key in sorted(unique)]
+
+    def _collect_imports(self, tree):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _TRACKED_ROOTS:
+                        self._aliases[alias.asname or root] = (
+                            alias.name if alias.asname else root
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.split(".")[0] in _TRACKED_ROOTS:
+                    for alias in node.names:
+                        self._aliases[alias.asname or alias.name] = (
+                            f"{module}.{alias.name}"
+                        )
+
+    def _dotted(self, node):
+        """Resolve a call target to a dotted path through import aliases."""
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._aliases.get(node.id, node.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def _flag(self, rule, node, message):
+        self.findings.append(
+            Finding(rule, self.path, node.lineno, node.col_offset, message)
+        )
+
+    def _has_sorted_ancestor(self, node):
+        current = self._parents.get(node)
+        while current is not None:
+            if (
+                isinstance(current, ast.Call)
+                and self._dotted(current.func) == "sorted"
+            ):
+                return True
+            current = self._parents.get(current)
+        return False
+
+    # -- call-shaped rules ---------------------------------------------
+
+    def visit_Call(self, node):
+        dotted = self._dotted(node.func) or ""
+        self._check_wallclock(node, dotted)
+        self._check_global_random(node, dotted)
+        self._check_id(node, dotted)
+        self._check_count(node, dotted)
+        self._check_unsorted_items(node)
+        self._check_set_materialized(node, dotted)
+        self.generic_visit(node)
+
+    def _check_wallclock(self, node, dotted):
+        if dotted in _WALLCLOCK_CALLS and not self._wallclock_allowed:
+            self._flag(
+                "wall-clock",
+                node,
+                f"{dotted}() reads the host clock; simulation time must "
+                "come from the engine",
+            )
+
+    def _check_global_random(self, node, dotted):
+        if dotted.startswith("random."):
+            if dotted == "random.Random":
+                if not node.args and not node.keywords:
+                    self._flag(
+                        "global-random",
+                        node,
+                        "random.Random() without a seed draws from OS "
+                        "entropy",
+                    )
+            elif dotted == "random.SystemRandom" or "." in dotted:
+                self._flag(
+                    "global-random",
+                    node,
+                    f"{dotted}() uses process-global random state",
+                )
+        elif dotted.startswith("numpy.random."):
+            leaf = dotted.rsplit(".", 1)[1]
+            if leaf in _NUMPY_LEGACY:
+                self._flag(
+                    "global-random",
+                    node,
+                    f"{dotted}() uses numpy's legacy global generator",
+                )
+            elif leaf in ("default_rng", "RandomState") and not node.args \
+                    and not node.keywords:
+                self._flag(
+                    "global-random",
+                    node,
+                    f"{dotted}() without a seed draws from OS entropy",
+                )
+
+    def _check_id(self, node, dotted):
+        if dotted == "id" and len(node.args) == 1:
+            self._flag(
+                "id-as-key",
+                node,
+                "id(...) is an interpreter address, different every run",
+            )
+
+    def _check_count(self, node, dotted):
+        if dotted == "itertools.count":
+            self._flag(
+                "module-counter",
+                node,
+                "itertools.count() state is shared by every simulation "
+                "in the process",
+            )
+
+    def _check_unsorted_items(self, node):
+        if (
+            self._is_export_module
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "items"
+            and not node.args
+            and not node.keywords
+            and not self._has_sorted_ancestor(node)
+        ):
+            self._flag(
+                "unsorted-items",
+                node,
+                ".items() order reaches an exported artifact without "
+                "sorted(...)",
+            )
+
+    def _check_set_materialized(self, node, dotted):
+        if dotted in ("list", "tuple") and len(node.args) == 1 \
+                and self._is_set_expr(node.args[0]):
+            self._flag(
+                "set-iteration",
+                node.args[0],
+                f"{dotted}() over a set materializes hash order",
+            )
+
+    # -- iteration rules -----------------------------------------------
+
+    def _is_set_expr(self, node):
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return isinstance(node, ast.Call) and self._dotted(node.func) == "set"
+
+    def _check_set_iteration(self, iter_node):
+        if self._is_set_expr(iter_node):
+            self._flag(
+                "set-iteration",
+                iter_node,
+                "iteration order over a set depends on hashes and "
+                "addresses",
+            )
+
+    def visit_For(self, node):
+        self._check_set_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node):
+        for generator in node.generators:
+            self._check_set_iteration(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- statement rules -----------------------------------------------
+
+    def visit_ExceptHandler(self, node):
+        if node.type is None:
+            self._flag(
+                "bare-except",
+                node,
+                "bare except: swallows everything, including injected "
+                "faults and sanitizer violations",
+            )
+        else:
+            names = self._exception_names(node.type)
+            reraises = any(
+                isinstance(child, ast.Raise) for child in ast.walk(node)
+            )
+            swallows = all(
+                isinstance(stmt, ast.Pass)
+                or (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                )
+                for stmt in node.body
+            )
+            if "BaseException" in names and not reraises:
+                self._flag(
+                    "bare-except",
+                    node,
+                    "except BaseException without re-raise swallows "
+                    "everything",
+                )
+            elif names and names <= {"Exception", "BaseException"} \
+                    and swallows:
+                self._flag(
+                    "bare-except",
+                    node,
+                    "except Exception: pass silently drops failures",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _exception_names(node):
+        if isinstance(node, ast.Name):
+            return {node.id}
+        if isinstance(node, ast.Tuple):
+            return {
+                element.id
+                for element in node.elts
+                if isinstance(element, ast.Name)
+            }
+        return set()
+
+    def visit_Expr(self, node):
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "begin"
+        ):
+            self._flag(
+                "unpaired-span",
+                node,
+                "begin() result discarded; the span can never be "
+                "end()ed",
+            )
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node):
+        for stmt in node.body:
+            targets = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if _COUNTER_NAME.match(target.id) and isinstance(
+                    value, (ast.List, ast.Dict, ast.Set)
+                ):
+                    self._flag(
+                        "module-counter",
+                        stmt,
+                        f"class-level mutable {target.id!r} is shared by "
+                        "every instance in the process",
+                    )
+        self.generic_visit(node)
+
+
+def _matches_any(path, patterns):
+    return any(fnmatch.fnmatch(path, pattern) for pattern in patterns)
+
+
+def _display_path(path):
+    resolved = pathlib.Path(path).resolve()
+    try:
+        return resolved.relative_to(pathlib.Path.cwd()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def lint_source(source, path, config=None, resolved_path=None):
+    """Lint one module's source text.
+
+    ``path`` is the display path attached to findings; ``resolved_path``
+    (defaulting to ``path``) is what the config globs match against.
+    Returns ``(findings, errors)``.
+    """
+    config = config or DEFAULT_CONFIG
+    resolved_path = resolved_path or path
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [], [
+            LintError(path, exc.lineno or 0, f"syntax error: {exc.msg}")
+        ]
+    line_allows, file_allows, errors = parse_pragmas(source, path)
+    analyzer = _Analyzer(path, config, resolved_path)
+    findings = [
+        finding
+        for finding in analyzer.run(tree)
+        if finding.rule not in file_allows
+        and finding.rule not in line_allows.get(finding.line, ())
+    ]
+    return findings, errors
+
+
+def iter_python_files(paths):
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    files = set()
+    for path in paths:
+        path = pathlib.Path(path)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        else:
+            files.add(path)
+    return sorted(files)
+
+
+def lint_paths(paths, config=None):
+    """Lint every ``*.py`` file under ``paths``; returns (findings, errors)."""
+    findings = []
+    errors = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text()
+        except OSError as exc:
+            errors.append(LintError(str(file_path), 0, f"unreadable: {exc}"))
+            continue
+        display = _display_path(file_path)
+        file_findings, file_errors = lint_source(
+            source,
+            display,
+            config=config,
+            resolved_path=file_path.resolve().as_posix(),
+        )
+        findings.extend(file_findings)
+        errors.extend(file_errors)
+    return findings, errors
+
+
+def render_findings(findings, show_hints=True):
+    """Human-readable report lines for a list of findings."""
+    lines = []
+    for finding in findings:
+        lines.append(finding.render())
+        if show_hints:
+            rule = RULES_BY_ID.get(finding.rule)
+            if rule is not None:
+                lines.append(f"    fix: {rule.hint}")
+    return lines

@@ -1,0 +1,392 @@
+"""Runtime simulation sanitizer: invariant checks and replay digests.
+
+The linter (:mod:`repro.analysis.lint`) catches hazard *patterns*; the
+sanitizer catches hazard *behaviour*. With ``REPRO_SANITIZE=1`` in the
+environment (or ``--sanitize`` on the CLI, or ``Simulator(...,
+sanitize=True)``) every simulator instruments its run loop:
+
+- **monotonic event clock** — a popped event may never be earlier than
+  the current simulation time, and nothing may be scheduled in the
+  past;
+- **tiebreak audit** — consecutive events at equal ``(time, priority)``
+  are recorded as tie groups: their relative order is decided purely by
+  schedule insertion order, which is exactly where nondeterminism
+  (hash-ordered iteration, address-derived keys) sneaks into an
+  otherwise-seeded run;
+- **no negative durations** — a trace span may never close before it
+  opened;
+- **resource accounting** — per hardware track (``cpu*``, ``gpu``,
+  ``cdsp``, ``npu``) spans must be properly nested, merged busy time
+  may not exceed elapsed time, and ``busy + idle == elapsed`` is
+  reported per track (:func:`audit_accounting`).
+
+The **dual-run digest** (:func:`dual_run`) replays a whole scenario
+twice in-process, hashing every simulator's popped-event stream
+``(time, priority, sequence, label)`` with sha256, and — when the
+digests differ — pinpoints the first divergent event, flagging whether
+it sits inside a tie group (an insertion-order nondeterminism) or not.
+
+Violations raise :class:`SanitizerError` immediately, at the event that
+broke the invariant, instead of surfacing later as a mysteriously
+different figure.
+"""
+
+import hashlib
+import re
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+_EPS = 1e-9
+
+_HARDWARE_TRACK = re.compile(r"^(cpu\d*|gpu\d*|cdsp|npu)$")
+
+
+class SanitizerError(AssertionError):
+    """A simulation invariant was violated."""
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One popped schedule entry, as hashed into the replay digest."""
+
+    time: float
+    priority: int
+    sequence: int
+    label: str
+
+    def render(self):
+        return (
+            f"t={self.time!r} prio={self.priority} seq={self.sequence} "
+            f"{self.label}"
+        )
+
+
+def _label(event):
+    return event.name or type(event).__name__
+
+
+class EventStream:
+    """The ordered record of every event one simulator popped."""
+
+    def __init__(self):
+        self.records = []
+
+    def add(self, time, priority, sequence, label):
+        self.records.append(EventRecord(time, priority, sequence, label))
+
+    def digest(self):
+        """sha256 over the canonical rendering of every record."""
+        digest = hashlib.sha256()
+        for record in self.records:
+            digest.update(
+                f"{record.time!r}|{record.priority}|{record.sequence}|"
+                f"{record.label}\n".encode("utf-8")
+            )
+        return digest.hexdigest()
+
+
+class DigestCollector:
+    """Gathers the sanitizers of every simulator created in a scope.
+
+    Simulators register in creation order, which is deterministic for a
+    deterministic scenario — so two collectors from two replays of the
+    same scenario can be diffed stream by stream.
+    """
+
+    def __init__(self):
+        self.sanitizers = []
+
+    def register(self, sanitizer):
+        self.sanitizers.append(sanitizer)
+
+    def combined_digest(self):
+        """sha256 over every registered stream's digest, in order."""
+        digest = hashlib.sha256()
+        for sanitizer in self.sanitizers:
+            digest.update(sanitizer.stream.digest().encode("ascii"))
+        return digest.hexdigest()
+
+    def event_count(self):
+        return sum(len(s.stream.records) for s in self.sanitizers)
+
+    def tie_count(self):
+        return sum(len(s.ties) for s in self.sanitizers)
+
+    def first_divergence(self, other):
+        """First event where this replay and ``other`` disagree.
+
+        Returns ``None`` when identical, else a dict with the stream
+        index, event index, both records (``None`` past a stream's
+        end), and ``"tie": True`` when both runs popped an event at the
+        same ``(time, priority)`` — i.e. only the insertion-order
+        tiebreak differed, the signature of hash/address
+        nondeterminism.
+        """
+        streams = max(len(self.sanitizers), len(other.sanitizers))
+        for stream_index in range(streams):
+            if stream_index >= len(self.sanitizers) or stream_index >= len(
+                other.sanitizers
+            ):
+                return {
+                    "stream": stream_index,
+                    "index": 0,
+                    "left": None,
+                    "right": None,
+                    "tie": False,
+                    "reason": "replays created a different number of "
+                    "simulators",
+                }
+            left = self.sanitizers[stream_index].stream.records
+            right = other.sanitizers[stream_index].stream.records
+            for index in range(max(len(left), len(right))):
+                record_a = left[index] if index < len(left) else None
+                record_b = right[index] if index < len(right) else None
+                if record_a != record_b:
+                    tie = (
+                        record_a is not None
+                        and record_b is not None
+                        and record_a.time == record_b.time
+                        and record_a.priority == record_b.priority
+                    )
+                    return {
+                        "stream": stream_index,
+                        "index": index,
+                        "left": record_a,
+                        "right": record_b,
+                        "tie": tie,
+                    }
+        return None
+
+
+_ACTIVE = {"collector": None}
+
+
+@contextmanager
+def collecting():
+    """Force-sanitize every simulator created in the scope and collect.
+
+    Yields the :class:`DigestCollector` the scope's sanitizers register
+    with. Nested scopes restore the previous collector on exit.
+    """
+    from repro.sim import engine
+
+    collector = DigestCollector()
+    previous = _ACTIVE["collector"]
+    _ACTIVE["collector"] = collector
+    previous_default = engine.set_sanitize_default(True)
+    try:
+        yield collector
+    finally:
+        _ACTIVE["collector"] = previous
+        engine.set_sanitize_default(previous_default)
+
+
+class Sanitizer:
+    """Per-simulator invariant checker and event-stream recorder.
+
+    Attached by the engine when sanitizing is enabled; the engine calls
+    :meth:`on_schedule` / :meth:`on_pop`, the trace recorder calls
+    :meth:`on_span_close`.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.stream = EventStream()
+        #: Groups of consecutive events popped at equal (time, priority)
+        #: — their order is pure insertion order.
+        self.ties = []
+        self._tie_open = False
+        self._last = None
+        collector = _ACTIVE["collector"]
+        if collector is not None:
+            collector.register(self)
+
+    # -- engine hooks --------------------------------------------------
+
+    def on_schedule(self, time, priority, sequence, event):
+        if time < self.sim.now - _EPS:
+            raise SanitizerError(
+                f"scheduled into the past: {_label(event)!r} at t={time} "
+                f"with now={self.sim.now}"
+            )
+
+    def on_pop(self, time, priority, sequence, event):
+        if time < self.sim.now - _EPS:
+            raise SanitizerError(
+                f"event clock went backwards: popped t={time} with "
+                f"now={self.sim.now}"
+            )
+        record = EventRecord(time, priority, sequence, _label(event))
+        last = self._last
+        if (
+            last is not None
+            and last.time == record.time
+            and last.priority == record.priority
+        ):
+            if self._tie_open:
+                self.ties[-1].append(record)
+            else:
+                self.ties.append([last, record])
+                self._tie_open = True
+        else:
+            self._tie_open = False
+        self._last = record
+        self.stream.records.append(record)
+
+    # -- trace hooks ---------------------------------------------------
+
+    def on_span_close(self, span):
+        if span.end < span.start - _EPS:
+            raise SanitizerError(
+                f"negative span duration on {span.track!r}: "
+                f"{span.label!r} [{span.start}, {span.end})"
+            )
+
+    # -- end-of-run audit ----------------------------------------------
+
+    def audit(self):
+        """Run end-of-run invariants; returns an accounting report.
+
+        Raises :class:`SanitizerError` on partially-overlapping spans
+        or busy time exceeding elapsed time on a hardware track.
+        """
+        report = {
+            "events": len(self.stream.records),
+            "ties": len(self.ties),
+            "digest": self.stream.digest(),
+            "tracks": {},
+        }
+        if self.sim.trace is not None:
+            report["tracks"] = audit_accounting(self.sim.trace, self.sim.now)
+        return report
+
+
+def audit_accounting(trace, elapsed):
+    """Per-hardware-track conservation: busy + idle == elapsed.
+
+    For every hardware track (``cpu*``, ``gpu*``, ``cdsp``, ``npu``)
+    the closed spans must be properly nested (Chrome complete events
+    derive nesting from timestamps, and a serial unit cannot half-
+    overlap itself), merged busy time may not exceed the elapsed
+    simulation time, and no span may have negative duration. Returns
+    ``{track: {"busy_us", "idle_us", "elapsed_us"}}``.
+    """
+    report = {}
+    for track in sorted({span.track for span in trace.spans}):
+        if not _HARDWARE_TRACK.match(track):
+            continue
+        spans = sorted(
+            (
+                (span.start, span.end, span.label)
+                for span in trace.spans
+                if span.track == track and span.closed
+            ),
+            key=lambda entry: (entry[0], -entry[1]),
+        )
+        busy = 0.0
+        cursor = 0.0
+        stack = []
+        for start, end, label in spans:
+            if end < start - _EPS:
+                raise SanitizerError(
+                    f"negative span duration on {track!r}: {label!r} "
+                    f"[{start}, {end})"
+                )
+            while stack and stack[-1] <= start + _EPS:
+                stack.pop()
+            if stack and end > stack[-1] + _EPS:
+                raise SanitizerError(
+                    f"partially overlapping spans on {track!r}: {label!r} "
+                    f"[{start}, {end}) crosses an enclosing span ending "
+                    f"at {stack[-1]}"
+                )
+            stack.append(end)
+            clipped_end = min(end, elapsed)
+            if clipped_end > cursor:
+                busy += clipped_end - max(start, cursor)
+                cursor = clipped_end
+        idle = elapsed - busy
+        if idle < -_EPS:
+            raise SanitizerError(
+                f"busy time exceeds elapsed on {track!r}: busy={busy} "
+                f"elapsed={elapsed}"
+            )
+        report[track] = {
+            "busy_us": busy,
+            "idle_us": max(idle, 0.0),
+            "elapsed_us": elapsed,
+        }
+    return report
+
+
+@dataclass(frozen=True)
+class DualRunReport:
+    """The outcome of replaying one scenario twice in-process."""
+
+    digest_a: str
+    digest_b: str
+    events: int
+    ties: int
+    divergence: dict
+
+    @property
+    def identical(self):
+        return self.divergence is None and self.digest_a == self.digest_b
+
+    def render(self):
+        lines = [
+            f"run A digest: {self.digest_a}",
+            f"run B digest: {self.digest_b}",
+            f"events: {self.events}  tie groups: {self.ties}",
+        ]
+        if self.identical:
+            lines.append("replay: IDENTICAL")
+        else:
+            lines.append("replay: DIVERGED")
+            divergence = self.divergence or {}
+            left = divergence.get("left")
+            right = divergence.get("right")
+            lines.append(
+                f"first divergence: simulator #{divergence.get('stream')} "
+                f"event #{divergence.get('index')}"
+            )
+            lines.append(
+                f"  run A: {left.render() if left else '(stream ended)'}"
+            )
+            lines.append(
+                f"  run B: {right.render() if right else '(stream ended)'}"
+            )
+            if divergence.get("tie"):
+                lines.append(
+                    "  equal (time, priority): order differs only by "
+                    "schedule insertion — an unordered-iteration or "
+                    "address-derived tiebreak"
+                )
+            if divergence.get("reason"):
+                lines.append(f"  {divergence['reason']}")
+        return "\n".join(lines)
+
+
+def dual_run(scenario):
+    """Replay ``scenario()`` twice with sanitizers on; diff the digests.
+
+    Every simulator created by the callable is instrumented; at the end
+    of each replay its invariants are audited. Returns a
+    :class:`DualRunReport` whose ``divergence`` names the first event
+    where the two replays disagree (``None`` when bit-identical).
+    """
+    with collecting() as first:
+        scenario()
+    for sanitizer in first.sanitizers:
+        sanitizer.audit()
+    with collecting() as second:
+        scenario()
+    for sanitizer in second.sanitizers:
+        sanitizer.audit()
+    return DualRunReport(
+        digest_a=first.combined_digest(),
+        digest_b=second.combined_digest(),
+        events=first.event_count(),
+        ties=first.tie_count(),
+        divergence=first.first_divergence(second),
+    )

@@ -22,11 +22,22 @@ Commands
     Record a named scenario with full instrumentation, print the
     self-time rollup, and export Chrome trace-event JSON for
     chrome://tracing / Perfetto (see docs/tracing.md).
+``lint``
+    Run the determinism linter over the source tree (see
+    docs/determinism.md). Exit 1 on findings, 2 on configuration
+    errors (unknown rule ids, stale baseline entries).
+``sanitize``
+    Replay a scenario, experiment, or small fleet twice with the
+    runtime sanitizer attached and diff the event-stream sha256
+    digests; a divergence pinpoints the first event where the replays
+    disagree.
 ``report``
     Regenerate everything (the EXPERIMENTS.md content).
 """
 
 import argparse
+import pathlib
+import sys
 
 from repro.apps import PipelineConfig, run_pipeline
 from repro.apps.harness import CONTEXTS
@@ -49,7 +60,17 @@ def _cmd_socs(_args):
     return 0
 
 
+def _enable_sanitizer_if_requested(args):
+    """Honor a ``--sanitize`` flag for every simulator the command makes."""
+    if getattr(args, "sanitize", False):
+        from repro.sim import engine
+
+        engine.set_sanitize_default(True)
+        print("sanitizer: on (invariant violations raise immediately)")
+
+
 def _cmd_run(args):
+    _enable_sanitizer_if_requested(args)
     if args.config is not None:
         import json
 
@@ -81,6 +102,7 @@ def _cmd_run(args):
 
 
 def _cmd_experiment(args):
+    _enable_sanitizer_if_requested(args)
     kwargs = {}
     if args.runs is not None:
         kwargs["runs"] = args.runs
@@ -125,6 +147,7 @@ def _cmd_fleet(args):
         seed=args.seed,
         cache_dir=args.cache_dir,
         runs=args.runs,
+        verify_cache=args.verify_cache,
     )
     print(aggregate_fleet(fleet).to_experiment_result().render())
     print(
@@ -168,10 +191,18 @@ def _cmd_trace(args):
         write_chrome_trace,
     )
 
+    _enable_sanitizer_if_requested(args)
     session = record_trace(
         args.scenario, runs=args.runs, seed=args.seed, soc=args.soc
     )
     trace = session.sim.trace
+    if session.sim.sanitizer is not None:
+        audit = session.sim.sanitizer.audit()
+        print(
+            f"sanitizer: {audit['events']} events, {audit['ties']} tie "
+            f"groups, digest {audit['digest'][:16]}..., "
+            f"{len(audit['tracks'])} hardware tracks conserve busy+idle"
+        )
     print(summarize_trace(trace).render(top=args.top))
     events = write_chrome_trace(
         trace,
@@ -185,6 +216,106 @@ def _cmd_trace(args):
     )
     print("open it at https://ui.perfetto.dev or chrome://tracing")
     return 0
+
+
+def _cmd_lint(args):
+    import repro
+    from repro.analysis import baseline as baseline_mod
+    from repro.analysis import lint as lint_mod
+
+    paths = args.paths or [pathlib.Path(repro.__file__).parent]
+    findings, errors = lint_mod.lint_paths(paths)
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        default = pathlib.Path(baseline_mod.BASELINE_NAME)
+        baseline_path = default if default.exists() else None
+
+    if args.write_baseline:
+        target = baseline_path or baseline_mod.BASELINE_NAME
+        count = baseline_mod.write_baseline(target, findings)
+        print(f"wrote {target} ({count} acknowledged findings)")
+        for error in errors:
+            print(error.render())
+        return 2 if errors else 0
+
+    entries = []
+    if baseline_path is not None:
+        entries, baseline_errors = baseline_mod.load_baseline(baseline_path)
+        errors = list(errors) + list(baseline_errors)
+    new_findings, stale = baseline_mod.apply_baseline(findings, entries)
+
+    if args.json:
+        import json
+
+        print(json.dumps(
+            [finding.__dict__ for finding in new_findings], indent=2
+        ))
+    else:
+        for line in lint_mod.render_findings(new_findings):
+            print(line)
+    # In --json mode stdout carries the findings array and nothing else;
+    # diagnostics move to stderr so the output stays machine-readable.
+    diag = sys.stderr if args.json else sys.stdout
+    for entry in stale:
+        message = (
+            f"{entry.path}:{entry.line}: stale baseline entry "
+            f"[{entry.rule}] — the finding no longer exists; remove it"
+        )
+        if args.check:
+            errors = list(errors) + [
+                lint_mod.LintError(entry.path, entry.line, message)
+            ]
+        else:
+            print(f"warning: {message}", file=diag)
+    for error in errors:
+        print(error.render(), file=diag)
+    if errors:
+        return 2
+    if new_findings:
+        print(
+            f"\n{len(new_findings)} finding(s); suppress a true positive "
+            "with `# repro: allow[rule-id]`, see docs/determinism.md",
+            file=diag,
+        )
+        return 1
+    suppressed = len(findings) - len(new_findings)
+    print(
+        "determinism lint: clean"
+        + (f" ({suppressed} baselined)" if suppressed else ""),
+        file=diag,
+    )
+    return 0
+
+
+def _cmd_sanitize(args):
+    from repro.analysis.sanitize import dual_run
+    from repro.experiments import REGISTRY, run_experiment
+    from repro.observability.scenarios import SCENARIOS, record_trace
+
+    name = args.target
+    if name == "fleet":
+        from repro.fleet import run_fleet
+
+        def scenario():
+            run_fleet(
+                sessions=args.sessions, workers=1, seed=args.seed or 0,
+                runs=args.runs or 3,
+            )
+    elif name in SCENARIOS:
+        def scenario():
+            record_trace(name, runs=args.runs, seed=args.seed)
+    elif name in REGISTRY:
+        def scenario():
+            run_experiment(name)
+    else:
+        known = sorted(set(SCENARIOS) | set(REGISTRY) | {"fleet"})
+        print(f"unknown sanitize target {name!r}; known: {known}")
+        return 2
+
+    report = dual_run(scenario)
+    print(report.render())
+    return 0 if report.identical else 1
 
 
 def _cmd_report(args):
@@ -234,6 +365,10 @@ def build_parser():
         help="load the full PipelineConfig from a JSON file "
              "(overrides the other run flags)",
     )
+    run_parser.add_argument(
+        "--sanitize", action="store_true",
+        help="attach the runtime sanitizer (docs/determinism.md)",
+    )
 
     experiment_parser = sub.add_parser(
         "experiment", help="regenerate one table/figure"
@@ -247,6 +382,10 @@ def build_parser():
     experiment_parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write the result as JSON",
+    )
+    experiment_parser.add_argument(
+        "--sanitize", action="store_true",
+        help="attach the runtime sanitizer (docs/determinism.md)",
     )
 
     fleet_parser = sub.add_parser(
@@ -268,6 +407,11 @@ def build_parser():
     fleet_parser.add_argument(
         "--runs", type=int, default=None,
         help="inference iterations per session (default: population's)",
+    )
+    fleet_parser.add_argument(
+        "--verify-cache", action="store_true", default=None,
+        help="re-simulate cache hits and require identical result "
+             "digests (also on under REPRO_SANITIZE=1)",
     )
 
     chaos_parser = sub.add_parser(
@@ -324,6 +468,58 @@ def build_parser():
         "--min-dur-us", type=float, default=0.0,
         help="drop spans shorter than this from the export",
     )
+    trace_parser.add_argument(
+        "--sanitize", action="store_true",
+        help="attach the runtime sanitizer and print its audit",
+    )
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="determinism lint over the source tree "
+             "(docs/determinism.md)",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to lint (default: the installed "
+             "repro package)",
+    )
+    lint_parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline of acknowledged findings (default: "
+             ".repro-lint-baseline.json if present)",
+    )
+    lint_parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="acknowledge all current findings into the baseline",
+    )
+    lint_parser.add_argument(
+        "--check", action="store_true",
+        help="CI mode: stale baseline entries are errors",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true",
+        help="emit findings as JSON instead of text",
+    )
+
+    sanitize_parser = sub.add_parser(
+        "sanitize",
+        help="dual-run replay digest: run a target twice with "
+             "invariant checks and diff event-stream sha256s",
+    )
+    sanitize_parser.add_argument(
+        "target",
+        help="a trace scenario (e.g. quickstart, chaos), an experiment "
+             "id (e.g. fig7), or 'fleet'",
+    )
+    sanitize_parser.add_argument(
+        "--runs", type=int, default=None,
+        help="iteration override for scenario/fleet targets",
+    )
+    sanitize_parser.add_argument("--seed", type=int, default=None)
+    sanitize_parser.add_argument(
+        "--sessions", type=int, default=4,
+        help="fleet target: sessions per replay",
+    )
 
     report_parser = sub.add_parser("report", help="regenerate everything")
     report_parser.add_argument("--fast", action="store_true")
@@ -339,6 +535,8 @@ _HANDLERS = {
     "fleet": _cmd_fleet,
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
+    "lint": _cmd_lint,
+    "sanitize": _cmd_sanitize,
     "report": _cmd_report,
 }
 

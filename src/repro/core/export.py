@@ -55,7 +55,10 @@ def experiment_to_dict(result):
         "title": result.title,
         "headers": list(result.headers),
         "rows": [list(row) for row in result.rows],
-        "series": {key: list(value) for key, value in result.series.items()},
+        "series": {
+            key: list(value)
+            for key, value in sorted(result.series.items())
+        },
         "notes": list(result.notes),
     }
 

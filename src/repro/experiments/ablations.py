@@ -20,16 +20,19 @@ from repro.soc import make_soc
 def run_snpe(runs=10, seed=0, model_key="efficientnet_lite0", dtype="int8"):
     """SNPE DSP vs NNAPI vs tuned CPU for a quantized model."""
     headers = ("Runtime", "inference ms", "vs snpe-dsp")
+    targets = ("snpe-dsp", "nnapi", "cpu", "hexagon")
     latencies = {}
-    for target in ("snpe-dsp", "nnapi", "cpu", "hexagon"):
+    for target in targets:
         config = PipelineConfig(
             model_key=model_key, dtype=dtype, context="cli",
             target=target, runs=runs, seed=seed,
         )
         latencies[target] = breakdown(run_pipeline(config)).inference_ms
+    # Row order restates the explicit targets tuple rather than relying
+    # on dict insertion order to reach the rendered table.
     rows = [
-        (target, ms, ms / latencies["snpe-dsp"])
-        for target, ms in latencies.items()
+        (target, latencies[target], latencies[target] / latencies["snpe-dsp"])
+        for target in targets
     ]
     return ExperimentResult(
         experiment_id="ablation_snpe",

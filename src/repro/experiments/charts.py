@@ -58,7 +58,7 @@ def _fig6_chart(result):
     for target in ("cpu", "hexagon", "nnapi"):
         timelines = {
             key.split(":", 1)[1]: series
-            for key, series in result.series.items()
+            for key, series in sorted(result.series.items())
             if key.startswith(f"{target}:")
         }
         if not timelines:

@@ -237,7 +237,7 @@ def run_memory_footprint():
         "int8 total MB", "shrink",
     )
     rows = []
-    for key, card in MODEL_CARDS.items():
+    for key, card in sorted(MODEL_CARDS.items()):
         fp32 = load_model(key, "fp32")
         fp32_total = fp32.memory_footprint_bytes / 1e6
         if card.cpu_int8 or card.nnapi_int8:

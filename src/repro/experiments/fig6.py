@@ -80,7 +80,7 @@ def run(runs=8, seed=0, model_key="efficientnet_lite0", dtype="int8",
                 profile["wall_ms"],
             )
         )
-        for track, timeline in profile["timelines"].items():
+        for track, timeline in sorted(profile["timelines"].items()):
             series[f"{target}:{track}"] = timeline
     return ExperimentResult(
         experiment_id="fig6",

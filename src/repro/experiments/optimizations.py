@@ -88,16 +88,18 @@ def run_arvr_multimodel(frames=12, seed=0):
     # per model. Quantized variants exist for all three, so "all-dsp"
     # genuinely stacks them onto the single Hexagon.
     models = ("ssd_mobilenet_v2", "mobilenet_v1", "efficientnet_lite0")
-    placements = {
-        "all-dsp": (("int8", "hexagon"), ("int8", "hexagon"),
-                    ("int8", "hexagon")),
-        "split dsp+gpu+cpu": (("int8", "hexagon"), ("fp32", "gpu"),
-                              ("int8", "cpu")),
-        "all-cpu": (("int8", "cpu"), ("int8", "cpu"), ("int8", "cpu")),
-    }
+    # An explicit sequence, not a dict: row order is the story the
+    # table tells (stacked -> split -> baseline), not insertion order.
+    placements = (
+        ("all-dsp", (("int8", "hexagon"), ("int8", "hexagon"),
+                     ("int8", "hexagon"))),
+        ("split dsp+gpu+cpu", (("int8", "hexagon"), ("fp32", "gpu"),
+                               ("int8", "cpu"))),
+        ("all-cpu", (("int8", "cpu"), ("int8", "cpu"), ("int8", "cpu"))),
+    )
     headers = ("placement", "frame ms", "achieved fps", "per-model ms")
     rows = []
-    for label, choices in placements.items():
+    for label, choices in placements:
         sim = Simulator(seed=seed)
         soc = make_soc(sim, "sd845")
         kernel = Kernel(sim, soc)

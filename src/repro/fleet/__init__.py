@@ -14,7 +14,7 @@ per-stage AI-tax breakdowns into fleet-level percentiles.
 """
 
 from repro.fleet.aggregate import FleetAggregate, SliceStats, aggregate_fleet
-from repro.fleet.cache import ResultCache
+from repro.fleet.cache import CacheDigestError, ResultCache
 from repro.fleet.population import (
     Axis,
     DevicePopulation,
@@ -27,12 +27,14 @@ from repro.fleet.runner import FleetResult, run_fleet
 from repro.fleet.session import (
     SessionResult,
     SessionSpec,
+    session_payload_digest,
     simulate_session,
     simulate_session_payload,
 )
 
 __all__ = [
     "Axis",
+    "CacheDigestError",
     "DevicePopulation",
     "FleetAggregate",
     "FleetResult",
@@ -46,6 +48,7 @@ __all__ = [
     "paper_population",
     "resolve_workload",
     "run_fleet",
+    "session_payload_digest",
     "simulate_session",
     "simulate_session_payload",
 ]

@@ -178,19 +178,27 @@ def aggregate_fleet(fleet):
             )
         raise ValueError("cannot aggregate an empty fleet")
 
+    # sorted(...) so slice order is the group name, not the order the
+    # sessions happened to arrive in — the slices reach rendered rows.
     by_context = {
         f"context:{name}": _slice_stats(f"context:{name}", group)
-        for name, group in _grouped(results, lambda s: s.context).items()
+        for name, group in sorted(
+            _grouped(results, lambda s: s.context).items()
+        )
     }
     by_soc = {
         f"soc:{name}": _slice_stats(f"soc:{name}", group)
-        for name, group in _grouped(results, lambda s: s.soc).items()
+        for name, group in sorted(
+            _grouped(results, lambda s: s.soc).items()
+        )
     }
     by_model = {
         name: _slice_stats(name, group)
-        for name, group in _grouped(
-            results, lambda s: f"model:{s.model_key}[{s.dtype}]"
-        ).items()
+        for name, group in sorted(
+            _grouped(
+                results, lambda s: f"model:{s.model_key}[{s.dtype}]"
+            ).items()
+        )
     }
 
     # Takeaway 1 is about *accelerated* quantized apps (inference on the

@@ -14,6 +14,16 @@ import pathlib
 import tempfile
 
 
+class CacheDigestError(RuntimeError):
+    """A cached session result no longer matches a fresh simulation.
+
+    Raised by the fleet runner's sanitizer hook: either the cache entry
+    was tampered with/corrupted in a way that still parses, or the
+    simulation is no longer deterministic for that spec. Both mean the
+    cached fleet percentiles can no longer be trusted.
+    """
+
+
 class ResultCache:
     """Maps :meth:`SessionSpec.digest` keys to session-result payloads."""
 

@@ -8,12 +8,17 @@ session-id order and are bit-identical whatever the worker count or
 completion order. Cache hits never re-enter a worker.
 """
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.fleet.cache import ResultCache
+from repro.fleet.cache import CacheDigestError, ResultCache
 from repro.fleet.population import expand_population, paper_population
-from repro.fleet.session import SessionResult, simulate_session_payload
+from repro.fleet.session import (
+    SessionResult,
+    session_payload_digest,
+    simulate_session_payload,
+)
 
 
 @dataclass
@@ -62,7 +67,7 @@ def _map_payloads(specs, workers):
 
 def run_fleet(population=None, sessions=64, workers=1, seed=0,
               cache_dir=None, runs=None, fault_rate=None,
-              session_retries=1):
+              session_retries=1, verify_cache=None):
     """Simulate a device population; returns a :class:`FleetResult`.
 
     Parameters
@@ -91,6 +96,13 @@ def run_fleet(population=None, sessions=64, workers=1, seed=0,
         faults fail identically on retry (and the error records how many
         attempts were burned); the bound exists for transient host-level
         failures in worker processes.
+    verify_cache:
+        Sanitizer hook: re-simulate every cache hit and require its
+        :func:`~repro.fleet.session.session_payload_digest` to match
+        the cached payload's, so a stale or tampered entry can never
+        silently change fleet percentiles
+        (:class:`~repro.fleet.cache.CacheDigestError` otherwise).
+        ``None`` defers to the ``REPRO_SANITIZE`` environment variable.
     """
     if population is None:
         population = paper_population()
@@ -100,6 +112,8 @@ def run_fleet(population=None, sessions=64, workers=1, seed=0,
         population = population.with_fault_rate(fault_rate)
     if session_retries < 0:
         raise ValueError(f"session_retries must be >= 0, got {session_retries}")
+    if verify_cache is None:
+        verify_cache = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
     specs = expand_population(population, sessions, seed=seed)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
 
@@ -107,6 +121,17 @@ def run_fleet(population=None, sessions=64, workers=1, seed=0,
     pending = []
     for spec in specs:
         payload = cache.get(spec.digest()) if cache is not None else None
+        if payload is not None and verify_cache:
+            fresh = simulate_session_payload(spec.to_dict())
+            if session_payload_digest(fresh) != session_payload_digest(
+                payload
+            ):
+                raise CacheDigestError(
+                    f"cached result for session {spec.session_id} (key "
+                    f"{spec.digest()[:12]}...) does not match a fresh "
+                    "simulation; evict the entry or fix the determinism "
+                    "regression"
+                )
         if payload is not None:
             by_id[spec.session_id] = SessionResult.from_dict(
                 payload, from_cache=True

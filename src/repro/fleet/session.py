@@ -151,6 +151,26 @@ class SessionResult:
         )
 
 
+def session_payload_digest(payload):
+    """sha256 content hash of a session-result payload.
+
+    Covers the result content (spec, runs, degradation) and excludes
+    bookkeeping (``from_cache``, error attempts), so a cached payload
+    and a fresh re-simulation of the same spec hash identically —
+    JSON round-trips floats exactly. The fleet runner's cache
+    verification (``REPRO_SANITIZE=1`` / ``verify_cache=True``)
+    compares these digests to prove a cache hit could not have changed
+    fleet percentiles.
+    """
+    canonical = {
+        key: payload[key]
+        for key in ("spec", "runs", "degradation")
+        if payload.get(key) is not None
+    }
+    encoded = json.dumps(canonical, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
 def simulate_session(spec):
     """Simulate one session end to end; returns a :class:`SessionResult`.
 

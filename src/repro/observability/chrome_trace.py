@@ -96,7 +96,8 @@ def to_chrome_trace(trace, process_name="repro-soc", tracks=None,
             "args": {"name": process_name},
         }
     ]
-    for track, tid in tids.items():
+    # key=tid keeps the canonical swimlane order from _track_ids.
+    for track, tid in sorted(tids.items(), key=lambda item: item[1]):
         metadata.append(
             {
                 "name": "thread_name",
@@ -135,7 +136,7 @@ def to_chrome_trace(trace, process_name="repro-soc", tracks=None,
             }
         )
     if include_counters:
-        for name, samples in trace.counters.items():
+        for name, samples in sorted(trace.counters.items()):
             for timestamp, value in samples:
                 events.append(
                     {

@@ -1,11 +1,33 @@
 """The simulation engine: clock, schedule, and run loop."""
 
 import heapq
+import os
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RngStreams
 from repro.sim.trace import TraceRecorder
+
+#: Process-local override for sanitizing new simulators; toggled by
+#: ``repro.analysis.sanitize.collecting`` and the CLI ``--sanitize``
+#: flags. The ``REPRO_SANITIZE`` environment variable has the same
+#: effect without touching code.
+_SANITIZE_DEFAULT = False
+
+
+def set_sanitize_default(enabled):
+    """Make new simulators attach a sanitizer; returns the old value."""
+    global _SANITIZE_DEFAULT
+    previous = _SANITIZE_DEFAULT
+    _SANITIZE_DEFAULT = bool(enabled)
+    return previous
+
+
+def sanitize_enabled():
+    """Whether a new Simulator should sanitize by default."""
+    if _SANITIZE_DEFAULT:
+        return True
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
 
 
 class Simulator:
@@ -21,6 +43,12 @@ class Simulator:
         Root seed for the named RNG streams available as :attr:`rng`.
     trace:
         When True, a :class:`TraceRecorder` collects spans and counters.
+    sanitize:
+        When True, attach a :class:`~repro.analysis.sanitize.Sanitizer`
+        that checks run-loop invariants and records the event-stream
+        replay digest. ``None`` (the default) defers to
+        :func:`sanitize_enabled` — the ``REPRO_SANITIZE`` environment
+        variable or an active ``--sanitize`` / dual-run scope.
     """
 
     #: Priority for ordinary events.
@@ -28,20 +56,41 @@ class Simulator:
     #: Priority for "urgent" bookkeeping events (run before normal ones).
     PRIORITY_URGENT = 0
 
-    def __init__(self, seed=0, trace=False):
+    def __init__(self, seed=0, trace=False, sanitize=None):
         self.now = 0.0
         self.rng = RngStreams(seed)
         self.trace = TraceRecorder(self) if trace else None
         self._queue = []
         self._sequence = 0
         self._active_process = None
+        self._id_counters = {}
+        self.sanitizer = None
+        if sanitize is None:
+            sanitize = sanitize_enabled()
+        if sanitize:
+            from repro.analysis.sanitize import Sanitizer
+
+            self.sanitizer = Sanitizer(self)
+
+    def next_id(self, name="id"):
+        """Next value of an engine-scoped deterministic id sequence.
+
+        Replaces module- or class-level ``itertools.count`` sources:
+        those survive across simulations in one process, so the ids a
+        run sees depend on what ran before it. Engine-scoped counters
+        reset with the simulator, keeping replays bit-identical.
+        """
+        value = self._id_counters.get(name, 0)
+        self._id_counters[name] = value + 1
+        return value
 
     # -- scheduling ---------------------------------------------------
 
     def _schedule(self, event, delay=0.0, priority=PRIORITY_NORMAL):
-        heapq.heappush(
-            self._queue, (self.now + delay, priority, self._sequence, event)
-        )
+        time = self.now + delay
+        if self.sanitizer is not None:
+            self.sanitizer.on_schedule(time, priority, self._sequence, event)
+        heapq.heappush(self._queue, (time, priority, self._sequence, event))
         self._sequence += 1
 
     def schedule_callback(self, delay, callback, name=None):
@@ -78,9 +127,11 @@ class Simulator:
         """Process a single event. Returns False when the queue is empty."""
         if not self._queue:
             return False
-        time, _priority, _seq, event = heapq.heappop(self._queue)
+        time, priority, sequence, event = heapq.heappop(self._queue)
         if time < self.now:
             raise RuntimeError("schedule went backwards in time")
+        if self.sanitizer is not None:
+            self.sanitizer.on_pop(time, priority, sequence, event)
         self.now = time
         callbacks, event.callbacks = event.callbacks, []
         event._mark_processed()

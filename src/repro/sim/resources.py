@@ -7,7 +7,6 @@ delay this models.
 """
 
 import heapq
-import itertools
 
 from repro.sim.events import Event
 
@@ -84,12 +83,17 @@ class PriorityResource(Resource):
 
     def __init__(self, sim, capacity=1, name=None):
         super().__init__(sim, capacity=capacity, name=name)
-        self._counter = itertools.count()
         self._heap = []
 
     def request(self, priority=0):
         request = _RequestEvent(self.sim, self, name=f"{self.name}:request")
-        heapq.heappush(self._heap, (priority, next(self._counter), request))
+        # Engine-scoped FIFO tiebreak: ids reset with the simulator, so
+        # replays see the same sequence whatever ran earlier in the
+        # process (an itertools.count here would not).
+        heapq.heappush(
+            self._heap,
+            (priority, self.sim.next_id("resource_request"), request),
+        )
         self._waiting.append(request)
         self._grant()
         return request

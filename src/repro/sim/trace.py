@@ -62,6 +62,9 @@ class TraceRecorder:
         two zero-width retries of the same label).
         """
         span.end = self.sim.now
+        sanitizer = getattr(self.sim, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.on_span_close(span)
         stack = self._open.get(span.track, [])
         for index in range(len(stack) - 1, -1, -1):
             if stack[index] is span:
@@ -76,6 +79,9 @@ class TraceRecorder:
     def record(self, track, label, start, end, **meta):
         """Record an already-closed span."""
         span = Span(track=track, label=label, start=start, end=end, meta=meta)
+        sanitizer = getattr(self.sim, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.on_span_close(span)
         self.spans.append(span)
         return span
 

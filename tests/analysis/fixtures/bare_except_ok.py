@@ -1,0 +1,16 @@
+"""Negative fixture: specific exceptions, and broad ones re-raised."""
+
+
+def run(step):
+    try:
+        return step()
+    except ValueError:
+        return None
+
+
+def run_logged(step, log):
+    try:
+        return step()
+    except Exception as exc:
+        log.append(exc)
+        raise

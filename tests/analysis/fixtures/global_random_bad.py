@@ -1,0 +1,11 @@
+"""Positive fixture: process-global and unseeded random sources."""
+
+import random
+
+
+def jitter():
+    return random.random()
+
+
+def make_rng():
+    return random.Random()

@@ -1,0 +1,11 @@
+"""Negative fixture: explicitly seeded generators only."""
+
+import random
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def jitter(rng):
+    return rng.random()

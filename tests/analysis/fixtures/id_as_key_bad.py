@@ -1,0 +1,6 @@
+"""Positive fixture: interpreter addresses used as identity tokens."""
+
+
+def register(table, obj):
+    table[id(obj)] = obj
+    return id(obj)

@@ -1,0 +1,7 @@
+"""Negative fixture: identity comes from an engine-scoped allocator."""
+
+
+def register(table, sim, obj):
+    token = sim.next_id("obj")
+    table[token] = obj
+    return token

@@ -1,0 +1,13 @@
+"""Positive fixture: interpreter-global mutable counters."""
+
+import itertools
+
+_ids = itertools.count()
+
+
+class Registry:
+    _counters = {}
+
+
+def fresh():
+    return next(_ids)

@@ -1,0 +1,9 @@
+"""Negative fixture: ids come from the owning simulator."""
+
+
+class Registry:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def fresh(self):
+        return self.sim.next_id("registry")

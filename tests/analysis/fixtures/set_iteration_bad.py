@@ -1,0 +1,7 @@
+"""Positive fixture: hash-ordered set iteration feeds downstream state."""
+
+
+def drain(pending, sink):
+    for item in {"cpu", "gpu", "cdsp"}:
+        sink.append(item)
+    return list(set(pending))

@@ -1,0 +1,7 @@
+"""Negative fixture: sets are sorted before iteration."""
+
+
+def drain(pending, sink):
+    for item in sorted({"cpu", "gpu", "cdsp"}):
+        sink.append(item)
+    return sorted(set(pending))

@@ -1,0 +1,5 @@
+"""Positive fixture: a begin() handle is discarded, span never ends."""
+
+
+def work(trace):
+    trace.begin("cpu0", "inference")

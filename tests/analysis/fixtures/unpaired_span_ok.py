@@ -1,0 +1,7 @@
+"""Negative fixture: the handle is kept and the span is closed."""
+
+
+def work(trace):
+    span = trace.begin("cpu0", "inference")
+    trace.end(span)
+    return span

@@ -1,0 +1,8 @@
+"""Positive fixture: insertion-ordered .items() reaches an artifact.
+
+Only flagged when linted as an export module (``LintConfig.export_modules``).
+"""
+
+
+def export(series):
+    return [(name, values) for name, values in series.items()]

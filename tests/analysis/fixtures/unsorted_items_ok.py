@@ -1,0 +1,5 @@
+"""Negative fixture: exported .items() iteration goes through sorted()."""
+
+
+def export(series):
+    return [(name, values) for name, values in sorted(series.items())]

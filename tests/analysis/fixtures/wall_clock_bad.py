@@ -1,0 +1,12 @@
+"""Positive fixture: reads the host clock inside simulation code."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def started():
+    return datetime.now()

@@ -1,0 +1,9 @@
+"""Negative fixture: time comes from the simulation clock."""
+
+
+def stamp(sim):
+    return sim.now
+
+
+def elapsed(sim, start):
+    return sim.now - start

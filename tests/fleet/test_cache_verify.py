@@ -1,0 +1,81 @@
+"""Cache-verification sanitizer hook: a cache hit must match a fresh
+simulation's payload digest, or the fleet run fails loudly."""
+
+import json
+
+import pytest
+
+from repro.fleet import (
+    CacheDigestError,
+    run_fleet,
+    session_payload_digest,
+    simulate_session_payload,
+)
+from repro.fleet.population import expand_population, paper_population
+
+
+def _tamper_one_entry(cache_dir):
+    entry = sorted(cache_dir.rglob("*.json"))[0]
+    payload = json.loads(entry.read_text())
+    payload["runs"].append({"tampered": True})
+    entry.write_text(json.dumps(payload))
+
+
+def test_verified_cache_hits_pass(tmp_path):
+    cache_dir = tmp_path / "cache"
+    first = run_fleet(
+        sessions=3, workers=1, seed=7, runs=2, cache_dir=cache_dir
+    )
+    assert first.simulated == 3
+    second = run_fleet(
+        sessions=3, workers=1, seed=7, runs=2, cache_dir=cache_dir,
+        verify_cache=True,
+    )
+    assert second.cache_hits == 3 and second.simulated == 0
+
+
+def test_tampered_cache_entry_raises(tmp_path):
+    cache_dir = tmp_path / "cache"
+    run_fleet(sessions=3, workers=1, seed=7, runs=2, cache_dir=cache_dir)
+    _tamper_one_entry(cache_dir)
+    with pytest.raises(CacheDigestError, match="does not match"):
+        run_fleet(
+            sessions=3, workers=1, seed=7, runs=2, cache_dir=cache_dir,
+            verify_cache=True,
+        )
+
+
+def test_tampered_entry_passes_silently_without_verification(tmp_path):
+    # The hook is opt-in: without it, cache hits are trusted (that is
+    # the whole point of the sanitizer mode existing).
+    cache_dir = tmp_path / "cache"
+    run_fleet(sessions=2, workers=1, seed=7, runs=2, cache_dir=cache_dir)
+    _tamper_one_entry(cache_dir)
+    result = run_fleet(
+        sessions=2, workers=1, seed=7, runs=2, cache_dir=cache_dir,
+        verify_cache=False,
+    )
+    assert result.cache_hits == 2
+
+
+def test_env_var_enables_verification(tmp_path, monkeypatch):
+    cache_dir = tmp_path / "cache"
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    run_fleet(sessions=2, workers=1, seed=3, runs=2, cache_dir=cache_dir)
+    _tamper_one_entry(cache_dir)
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    with pytest.raises(CacheDigestError):
+        run_fleet(sessions=2, workers=1, seed=3, runs=2, cache_dir=cache_dir)
+
+
+def test_session_payload_digest_is_canonical():
+    spec = expand_population(paper_population().with_runs(2), 1, seed=0)[0]
+    payload = simulate_session_payload(spec.to_dict())
+    digest = session_payload_digest(payload)
+    assert len(digest) == 64
+    # Stable across a JSON round trip (what the cache does to payloads).
+    assert session_payload_digest(json.loads(json.dumps(payload))) == digest
+    # Sensitive to the simulated numbers.
+    tampered = json.loads(json.dumps(payload))
+    tampered["runs"].append({"tampered": True})
+    assert session_payload_digest(tampered) != digest
