@@ -7,6 +7,12 @@ that a seeded simulation replays bit-identically:
   for the hazard patterns that have actually broken replay here
   (wall-clock reads, global RNGs, ``id()``-derived keys, process-global
   counters, unordered iteration feeding artifacts);
+- :mod:`repro.analysis.semcheck` — an AST *semantic* checker
+  (``python -m repro semcheck``) for hazards that replay perfectly and
+  compute the wrong number: mixed time/energy units (inferred from
+  ``_us``/``_ms``/``_ns`` name suffixes, see
+  :mod:`repro.analysis.unit_types`) and broken resource
+  request/release protocol across yields and exception edges;
 - :mod:`repro.analysis.sanitize` — a runtime sanitizer
   (``REPRO_SANITIZE=1`` / ``--sanitize``) that checks engine invariants
   while a simulation runs, plus a dual-run sha256 digest mode that
@@ -18,6 +24,7 @@ suppression workflow.
 
 from repro.analysis.baseline import (
     BASELINE_NAME,
+    SEMCHECK_BASELINE_NAME,
     BaselineEntry,
     apply_baseline,
     load_baseline,
@@ -34,6 +41,20 @@ from repro.analysis.lint import (
     lint_source,
     render_findings,
 )
+from repro.analysis.semcheck import (
+    DEFAULT_CONFIG as SEMCHECK_DEFAULT_CONFIG,
+)
+from repro.analysis.semcheck import (
+    RULES as SEMCHECK_RULES,
+)
+from repro.analysis.semcheck import (
+    RULES_BY_ID as SEMCHECK_RULES_BY_ID,
+)
+from repro.analysis.semcheck import (
+    SemCheckConfig,
+    semcheck_paths,
+    semcheck_source,
+)
 from repro.analysis.sanitize import (
     DigestCollector,
     DualRunReport,
@@ -48,6 +69,13 @@ from repro.analysis.sanitize import (
 
 __all__ = [
     "BASELINE_NAME",
+    "SEMCHECK_BASELINE_NAME",
+    "SEMCHECK_DEFAULT_CONFIG",
+    "SEMCHECK_RULES",
+    "SEMCHECK_RULES_BY_ID",
+    "SemCheckConfig",
+    "semcheck_paths",
+    "semcheck_source",
     "BaselineEntry",
     "apply_baseline",
     "load_baseline",

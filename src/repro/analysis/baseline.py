@@ -14,8 +14,9 @@ from dataclasses import dataclass
 
 from repro.analysis.lint import RULES_BY_ID, LintError
 
-#: Default baseline filename, looked up in the working directory.
+#: Default baseline filenames, looked up in the working directory.
 BASELINE_NAME = ".repro-lint-baseline.json"
+SEMCHECK_BASELINE_NAME = ".repro-semcheck-baseline.json"
 
 _VERSION = 1
 
@@ -32,13 +33,16 @@ class BaselineEntry:
         return (self.path, self.line, self.rule)
 
 
-def load_baseline(path):
+def load_baseline(path, known_rules=None):
     """Parse a baseline file; returns ``(entries, errors)``.
 
-    Unknown rule ids are :class:`LintError`\\ s, not skipped entries: a
-    suppression that names a rule the linter no longer has (or never
-    had) must fail the run instead of rotting silently.
+    ``known_rules`` is the rule-id set of the checker the baseline
+    belongs to (default: the determinism linter's). Unknown rule ids
+    are :class:`LintError`\\ s, not skipped entries: a suppression that
+    names a rule the checker no longer has (or never had) must fail the
+    run instead of rotting silently.
     """
+    known_rules = known_rules if known_rules is not None else RULES_BY_ID
     path = pathlib.Path(path)
     errors = []
     try:
@@ -68,14 +72,14 @@ def load_baseline(path):
                 )
             )
             continue
-        if entry.rule not in RULES_BY_ID:
+        if entry.rule not in known_rules:
             errors.append(
                 LintError(
                     str(path),
                     0,
                     f"baseline entry #{index} names unknown rule "
                     f"{entry.rule!r} (known: "
-                    f"{', '.join(sorted(RULES_BY_ID))})",
+                    f"{', '.join(sorted(known_rules))})",
                 )
             )
             continue

@@ -1,0 +1,242 @@
+"""Machinery shared by the AST checkers (``lint`` and ``semcheck``).
+
+Both checkers speak the same dialect: findings located at
+``path:line:col`` with a stable rule id and a fix-it hint, suppression
+through ``# repro: allow[rule-id]`` pragmas, an acknowledged-findings
+baseline, and the 0/1/2 exit-code contract (clean / findings / the run
+itself cannot be trusted). This module holds the dialect so
+:mod:`repro.analysis.lint` and :mod:`repro.analysis.semcheck` only
+contain rules.
+
+Pragmas are validated against the union of every checker's rule ids
+(:func:`known_rule_ids`): a pragma naming a rule the *other* checker
+owns is silently inapplicable here, but a pragma naming a rule nobody
+owns is a hard error — typos must fail the run, not rot.
+"""
+
+import ast
+import fnmatch
+import io
+import pathlib
+import re
+import tokenize
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """One check rule: stable id, what it catches, and how to fix it."""
+
+    id: str
+    summary: str
+    hint: str
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def key(self):
+        """Identity used for baseline matching and de-duplication."""
+        return (self.path, self.line, self.rule)
+
+    def render(self):
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class LintError:
+    """A configuration problem (bad pragma, stale/unknown baseline).
+
+    Errors are not findings: they mean the check run itself cannot be
+    trusted, so the CLI exits 2 instead of 1.
+    """
+
+    path: str
+    line: int
+    message: str
+
+    def render(self):
+        return f"{self.path}:{self.line}: error: {self.message}"
+
+
+_PRAGMA = re.compile(r"#\s*repro:\s*(allow|allow-file)\[([^\]]*)\]")
+
+
+def known_rule_ids():
+    """Every rule id any checker owns (for pragma/typo validation)."""
+    from repro.analysis import lint, semcheck
+
+    return frozenset(lint.RULES_BY_ID) | frozenset(semcheck.RULES_BY_ID)
+
+
+def parse_pragmas(source, path, applicable=None, known=None):
+    """Extract suppression pragmas from ``source``.
+
+    Returns ``(line_allows, file_allows, errors)`` where ``line_allows``
+    maps a line number to the rule ids allowed on that line, filtered to
+    ``applicable`` (the running checker's rules). Rule ids outside
+    ``known`` (default: every checker's rules) are
+    :class:`LintError`\\ s — a typo'd pragma must fail the run, not
+    silently suppress nothing (or worse, keep "working" after the rule
+    it named is renamed). Rule ids known to another checker are valid
+    but inert here.
+    """
+    known = known if known is not None else known_rule_ids()
+    line_allows = {}
+    file_allows = set()
+    errors = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        tokens = []
+    # Only real COMMENT tokens count: a pragma example quoted in a
+    # docstring or help string must not suppress anything.
+    comments = [
+        (token.start[0], token.string)
+        for token in tokens
+        if token.type == tokenize.COMMENT
+    ]
+    for lineno, text in comments:
+        for match in _PRAGMA.finditer(text):
+            kind, raw = match.group(1), match.group(2)
+            rules = {part.strip() for part in raw.split(",") if part.strip()}
+            if not rules:
+                errors.append(
+                    LintError(path, lineno, "empty repro pragma rule list")
+                )
+                continue
+            unknown = sorted(rules - set(known))
+            if unknown:
+                errors.append(
+                    LintError(
+                        path,
+                        lineno,
+                        f"unknown rule id(s) in pragma: {', '.join(unknown)} "
+                        f"(known: {', '.join(sorted(known))})",
+                    )
+                )
+                rules &= set(known)
+            if applicable is not None:
+                rules &= set(applicable)
+            if kind == "allow":
+                line_allows.setdefault(lineno, set()).update(rules)
+            else:
+                file_allows.update(rules)
+    return line_allows, file_allows, errors
+
+
+class AliasResolver:
+    """Resolve call targets to dotted paths through import aliases."""
+
+    def __init__(self, tree, tracked_roots):
+        self._tracked = tuple(tracked_roots)
+        self._aliases = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in self._tracked:
+                        self._aliases[alias.asname or root] = (
+                            alias.name if alias.asname else root
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.split(".")[0] in self._tracked:
+                    for alias in node.names:
+                        self._aliases[alias.asname or alias.name] = (
+                            f"{module}.{alias.name}"
+                        )
+
+    def dotted(self, node):
+        """Dotted path of a ``Name``/``Attribute`` chain, or ``None``."""
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self._aliases.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+
+def matches_any(path, patterns):
+    """fnmatch ``path`` against any of ``patterns``."""
+    return any(fnmatch.fnmatch(path, pattern) for pattern in patterns)
+
+
+def display_path(path):
+    """Repo-relative posix path when possible, absolute otherwise."""
+    resolved = pathlib.Path(path).resolve()
+    try:
+        return resolved.relative_to(pathlib.Path.cwd()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def iter_python_files(paths):
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    files = set()
+    for path in paths:
+        path = pathlib.Path(path)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        else:
+            files.add(path)
+    return sorted(files)
+
+
+def check_paths(paths, check_source):
+    """Run ``check_source(source, display, resolved)`` over every file.
+
+    The shared directory-walking loop behind ``lint_paths`` and
+    ``semcheck_paths``; returns combined ``(findings, errors)``.
+    """
+    findings = []
+    errors = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text()
+        except OSError as exc:
+            errors.append(LintError(str(file_path), 0, f"unreadable: {exc}"))
+            continue
+        file_findings, file_errors = check_source(
+            source,
+            display_path(file_path),
+            file_path.resolve().as_posix(),
+        )
+        findings.extend(file_findings)
+        errors.extend(file_errors)
+    return findings, errors
+
+
+def render_findings(findings, rules_by_id, show_hints=True):
+    """Human-readable report lines for a list of findings."""
+    lines = []
+    for finding in findings:
+        lines.append(finding.render())
+        if show_hints:
+            rule = rules_by_id.get(finding.rule)
+            if rule is not None:
+                lines.append(f"    fix: {rule.hint}")
+    return lines
+
+
+def findings_to_json(findings):
+    """The shared ``--format=json`` payload for lint and semcheck."""
+    return [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "message": finding.message,
+        }
+        for finding in findings
+    ]

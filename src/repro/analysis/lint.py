@@ -37,21 +37,19 @@ either are hard errors so suppressions cannot rot.
 """
 
 import ast
-import fnmatch
-import io
-import pathlib
 import re
-import tokenize
 from dataclasses import dataclass
 
-
-@dataclass(frozen=True)
-class RuleInfo:
-    """One lint rule: stable id, what it catches, and how to fix it."""
-
-    id: str
-    summary: str
-    hint: str
+from repro.analysis.common import (
+    AliasResolver,
+    Finding,
+    LintError,
+    RuleInfo,
+    check_paths,
+    matches_any,
+)
+from repro.analysis.common import parse_pragmas as _parse_pragmas
+from repro.analysis.common import render_findings as _render_findings
 
 
 RULES = (
@@ -111,40 +109,6 @@ RULES = (
 )
 
 RULES_BY_ID = {rule.id: rule for rule in RULES}
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One rule violation at a specific source location."""
-
-    rule: str
-    path: str
-    line: int
-    col: int
-    message: str
-
-    def key(self):
-        """Identity used for baseline matching and de-duplication."""
-        return (self.path, self.line, self.rule)
-
-    def render(self):
-        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
-
-
-@dataclass(frozen=True)
-class LintError:
-    """A configuration problem (bad pragma, stale/unknown baseline).
-
-    Errors are not findings: they mean the lint run itself cannot be
-    trusted, so the CLI exits 2 instead of 1.
-    """
-
-    path: str
-    line: int
-    message: str
-
-    def render(self):
-        return f"{self.path}:{self.line}: error: {self.message}"
 
 
 @dataclass(frozen=True)
@@ -219,57 +183,14 @@ _TRACKED_ROOTS = ("time", "datetime", "random", "itertools", "numpy")
 
 _COUNTER_NAME = re.compile(r"^_?(ids?|counters?|count|seq|sequence|next_\w+)$")
 
-_PRAGMA = re.compile(r"#\s*repro:\s*(allow|allow-file)\[([^\]]*)\]")
-
-
 def parse_pragmas(source, path):
-    """Extract suppression pragmas from ``source``.
+    """Extract this checker's suppression pragmas from ``source``.
 
-    Returns ``(line_allows, file_allows, errors)`` where ``line_allows``
-    maps a line number to the rule ids allowed on that line. Unknown
-    rule ids are :class:`LintError`\\ s — a typo'd pragma must fail the
-    run, not silently suppress nothing (or worse, keep "working" after
-    the rule it named is renamed).
+    Thin wrapper over :func:`repro.analysis.common.parse_pragmas`,
+    scoped so only lint rules apply here while semcheck rule ids remain
+    valid (inert) in pragmas and vice versa.
     """
-    line_allows = {}
-    file_allows = set()
-    errors = []
-    try:
-        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
-    except (tokenize.TokenError, IndentationError, SyntaxError):
-        tokens = []
-    # Only real COMMENT tokens count: a pragma example quoted in a
-    # docstring or help string must not suppress anything.
-    comments = [
-        (token.start[0], token.string)
-        for token in tokens
-        if token.type == tokenize.COMMENT
-    ]
-    for lineno, text in comments:
-        for match in _PRAGMA.finditer(text):
-            kind, raw = match.group(1), match.group(2)
-            rules = {part.strip() for part in raw.split(",") if part.strip()}
-            if not rules:
-                errors.append(
-                    LintError(path, lineno, "empty repro pragma rule list")
-                )
-                continue
-            unknown = sorted(rules - set(RULES_BY_ID))
-            if unknown:
-                errors.append(
-                    LintError(
-                        path,
-                        lineno,
-                        f"unknown rule id(s) in pragma: {', '.join(unknown)} "
-                        f"(known: {', '.join(sorted(RULES_BY_ID))})",
-                    )
-                )
-                rules &= set(RULES_BY_ID)
-            if kind == "allow":
-                line_allows.setdefault(lineno, set()).update(rules)
-            else:
-                file_allows.update(rules)
-    return line_allows, file_allows, errors
+    return _parse_pragmas(source, path, applicable=set(RULES_BY_ID))
 
 
 class _Analyzer(ast.NodeVisitor):
@@ -279,12 +200,12 @@ class _Analyzer(ast.NodeVisitor):
         self.path = path
         self.config = config
         self.findings = []
-        self._aliases = {}
+        self._resolver = None
         self._parents = {}
-        self._wallclock_allowed = _matches_any(
+        self._wallclock_allowed = matches_any(
             resolved_path, config.wallclock_allow
         )
-        self._is_export_module = _matches_any(
+        self._is_export_module = matches_any(
             resolved_path, config.export_modules
         )
 
@@ -294,41 +215,16 @@ class _Analyzer(ast.NodeVisitor):
         for node in ast.walk(tree):
             for child in ast.iter_child_nodes(node):
                 self._parents[child] = node
-        self._collect_imports(tree)
+        self._resolver = AliasResolver(tree, _TRACKED_ROOTS)
         self.visit(tree)
         unique = {}
         for finding in self.findings:
             unique.setdefault(finding.key(), finding)
         return [unique[key] for key in sorted(unique)]
 
-    def _collect_imports(self, tree):
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    root = alias.name.split(".")[0]
-                    if root in _TRACKED_ROOTS:
-                        self._aliases[alias.asname or root] = (
-                            alias.name if alias.asname else root
-                        )
-            elif isinstance(node, ast.ImportFrom):
-                module = node.module or ""
-                if module.split(".")[0] in _TRACKED_ROOTS:
-                    for alias in node.names:
-                        self._aliases[alias.asname or alias.name] = (
-                            f"{module}.{alias.name}"
-                        )
-
     def _dotted(self, node):
         """Resolve a call target to a dotted path through import aliases."""
-        parts = []
-        while isinstance(node, ast.Attribute):
-            parts.append(node.attr)
-            node = node.value
-        if not isinstance(node, ast.Name):
-            return None
-        base = self._aliases.get(node.id, node.id)
-        parts.append(base)
-        return ".".join(reversed(parts))
+        return self._resolver.dotted(node)
 
     def _flag(self, rule, node, message):
         self.findings.append(
@@ -563,18 +459,6 @@ class _Analyzer(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _matches_any(path, patterns):
-    return any(fnmatch.fnmatch(path, pattern) for pattern in patterns)
-
-
-def _display_path(path):
-    resolved = pathlib.Path(path).resolve()
-    try:
-        return resolved.relative_to(pathlib.Path.cwd()).as_posix()
-    except ValueError:
-        return resolved.as_posix()
-
-
 def lint_source(source, path, config=None, resolved_path=None):
     """Lint one module's source text.
 
@@ -601,47 +485,16 @@ def lint_source(source, path, config=None, resolved_path=None):
     return findings, errors
 
 
-def iter_python_files(paths):
-    """Expand files/directories into a sorted list of ``*.py`` files."""
-    files = set()
-    for path in paths:
-        path = pathlib.Path(path)
-        if path.is_dir():
-            files.update(path.rglob("*.py"))
-        else:
-            files.add(path)
-    return sorted(files)
-
-
 def lint_paths(paths, config=None):
     """Lint every ``*.py`` file under ``paths``; returns (findings, errors)."""
-    findings = []
-    errors = []
-    for file_path in iter_python_files(paths):
-        try:
-            source = file_path.read_text()
-        except OSError as exc:
-            errors.append(LintError(str(file_path), 0, f"unreadable: {exc}"))
-            continue
-        display = _display_path(file_path)
-        file_findings, file_errors = lint_source(
-            source,
-            display,
-            config=config,
-            resolved_path=file_path.resolve().as_posix(),
-        )
-        findings.extend(file_findings)
-        errors.extend(file_errors)
-    return findings, errors
+    return check_paths(
+        paths,
+        lambda source, display, resolved: lint_source(
+            source, display, config=config, resolved_path=resolved
+        ),
+    )
 
 
 def render_findings(findings, show_hints=True):
     """Human-readable report lines for a list of findings."""
-    lines = []
-    for finding in findings:
-        lines.append(finding.render())
-        if show_hints:
-            rule = RULES_BY_ID.get(finding.rule)
-            if rule is not None:
-                lines.append(f"    fix: {rule.hint}")
-    return lines
+    return _render_findings(findings, RULES_BY_ID, show_hints=show_hints)

@@ -1,0 +1,1010 @@
+"""Semantic checks: unit consistency and resource-protocol safety.
+
+The determinism linter (:mod:`repro.analysis.lint`) catches syntactic
+hazards — patterns that break bit-identical replay. This checker
+catches *semantic* hazards: code that replays perfectly and computes
+the wrong number. Every figure the reproduction regenerates is a
+latency or utilization value, so the two silent corruptions are
+
+* **mixed units** — the engine clock counts microseconds, the paper
+  reports milliseconds, cost rates are nanoseconds per element; one
+  missed conversion shifts a figure by 1000x (or worse, by 1000x only
+  on one code path); and
+* **leaked simulated resources** — a CPU core, DSP queue slot, or GPU
+  grant still held when an exception or :class:`~repro.sim.events.
+  Interrupted` unwinds a process distorts exactly the queueing and
+  contention behaviour Figs. 5-10 measure, and only for the *rest* of
+  that run.
+
+Two passes implement this (``python -m repro semcheck``):
+
+**Units pass.** Unit types are inferred from name suffixes (``_us`` /
+``_ms`` / ``_ns`` / ``_mhz`` / ``_uj`` / ``_mj`` / ``_celsius`` — see
+:mod:`repro.analysis.unit_types`) on parameters, attributes, locals,
+and return names, and propagated through assignment and arithmetic.
+Cross-unit arithmetic and comparison, bare ``* 1000`` / ``/ 1000.0``
+scale factors outside :mod:`repro.sim.units`, misused converters, and
+unit-suffixed arguments bound to differently-suffixed parameters
+(including the documented microsecond contracts of ``timeout()`` /
+``schedule_callback()`` / ``Sleep`` / ``Work``) are findings.
+
+**Protocol pass.** A flow-sensitive walk of generator process bodies
+pairs ``Resource.request()`` with ``release()`` across ``yield``
+points and ``try``/``except``/``finally`` edges: a request with no
+release on some path (including the interrupt path at any ``yield``),
+a release of a never-requested handle, a double release, a ``yield``
+of a non-Event value, and a yieldless ``while True`` (zero-time
+livelock) are findings.
+
+Suppression, baselines, and exit codes are shared with the linter
+(``# repro: allow[rule-id]`` pragmas, an empty committed baseline,
+0/1/2); see ``docs/determinism.md``.
+"""
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis import unit_types
+from repro.analysis.common import (
+    AliasResolver,
+    Finding,
+    LintError,
+    RuleInfo,
+    check_paths,
+    matches_any,
+    parse_pragmas,
+)
+from repro.analysis.common import render_findings as _render_findings
+
+RULES = (
+    RuleInfo(
+        "unit-mismatch",
+        "arithmetic, comparison, or assignment mixes units",
+        "convert explicitly through repro.sim.units (ms()/to_ms()/"
+        "ns()/...) so both sides share a unit; the suffix on each name "
+        "declares its unit.",
+    ),
+    RuleInfo(
+        "magic-conversion",
+        "bare power-of-1000 unit scale in arithmetic",
+        "spell the conversion with a repro.sim.units helper (to_ms, ms, "
+        "ns, to_ns, to_mj, fps_from_ms) or a named units constant; a "
+        "bare 1000 hides which way the conversion goes.",
+    ),
+    RuleInfo(
+        "unit-arg-mismatch",
+        "argument unit differs from the parameter's declared unit",
+        "convert at the call site with repro.sim.units; the parameter's "
+        "suffix (or its documented contract — timeout() and "
+        "schedule_callback() take microseconds) is the unit the callee "
+        "expects.",
+    ),
+    RuleInfo(
+        "resource-leak",
+        "resource request not released on every path",
+        "hold the grant in `with resource.request() as req:` (released "
+        "automatically, even when the process is interrupted at a "
+        "yield) or wrap every yield made while holding it in "
+        "try/finally: req.release().",
+    ),
+    RuleInfo(
+        "double-release",
+        "handle released when it is already released",
+        "release exactly once per request; a with-block releases "
+        "automatically at exit, so drop the extra explicit release().",
+    ),
+    RuleInfo(
+        "release-unowned",
+        "release of a handle that was never requested on some path",
+        "move the release() into the branch that issued the request() "
+        "(or request unconditionally); releasing an ungranted handle "
+        "raises ValueError at runtime.",
+    ),
+    RuleInfo(
+        "yield-non-event",
+        "process body yields a value that is not an Event",
+        "yield Event-shaped requests only (Sleep/Work/WaitFor, "
+        "sim.timeout(), resource requests, store.get()); anything else "
+        "makes Process raise TypeError mid-simulation.",
+    ),
+    RuleInfo(
+        "yieldless-loop",
+        "unbounded loop with no yield in a process body",
+        "yield inside the loop (e.g. sim.timeout(...)) so simulated "
+        "time can advance; a yieldless `while True:` livelocks the "
+        "engine at a single timestamp.",
+    ),
+)
+
+RULES_BY_ID = {rule.id: rule for rule in RULES}
+
+
+@dataclass(frozen=True)
+class SemCheckConfig:
+    """Where the passes apply.
+
+    ``units_modules`` (fnmatch globs against the resolved posix path)
+    name the conversion boundary itself — :mod:`repro.sim.units` mixes
+    units *by definition*, so the whole units pass is skipped there.
+    """
+
+    units_modules: tuple = ("*/sim/units.py",)
+
+
+DEFAULT_CONFIG = SemCheckConfig()
+
+#: Import roots the alias resolver tracks (for ``units.*`` calls).
+_TRACKED_ROOTS = ("repro", "units")
+
+#: Builtins that pass their argument's unit through unchanged.
+_UNIT_PRESERVING_CALLS = frozenset(
+    {"abs", "float", "int", "round", "sum", "min", "max", "sorted"}
+)
+
+#: Comparison operators that require both sides in the same unit.
+_ORDERED_CMP = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+#: Sentinel for a name assigned conflicting units (treated as unknown).
+_CONFLICT = "?conflict"
+
+
+def _own_nodes(body):
+    """Walk nodes of a scope without descending into nested defs."""
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _has_own_yield(func):
+    """Whether ``func`` itself (not a nested def) is a generator."""
+    return any(
+        isinstance(node, (ast.Yield, ast.YieldFrom))
+        for node in _own_nodes(func.body)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Units pass
+# ---------------------------------------------------------------------------
+
+
+class _UnitsPass:
+    """Suffix-inferred unit propagation over one scope (module or def)."""
+
+    def __init__(self, checker, scope_body, func=None):
+        self.checker = checker
+        self.scope_body = scope_body
+        self.func = func
+        self.env = {}
+
+    # -- environment ---------------------------------------------------
+
+    def build_env(self):
+        if self.func is not None:
+            args = self.func.args
+            params = list(args.posonlyargs) + list(args.args) + list(
+                args.kwonlyargs
+            )
+            for param in params:
+                unit = unit_types.suffix_unit(param.arg.lower())
+                if unit is not None:
+                    self.env[param.arg] = unit
+        # Two rounds so chained assignments (a = b_us; c = a) settle.
+        for _round in range(2):
+            for node in _own_nodes(self.scope_body):
+                targets = ()
+                value = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = (node.target,), node.value
+                if value is None:
+                    continue
+                inferred = self.unit_of(value)
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    declared = unit_types.suffix_unit(target.id.lower())
+                    if declared is not None:
+                        self.env[target.id] = declared
+                    elif inferred is not None:
+                        known = self.env.get(target.id)
+                        if known is not None and known != inferred:
+                            self.env[target.id] = _CONFLICT
+                        else:
+                            self.env[target.id] = inferred
+
+    # -- unit inference (pure: never flags) ------------------------------
+
+    def unit_of(self, node):
+        """Infer the unit of an expression, or ``None`` when unknown."""
+        if isinstance(node, ast.Name):
+            unit = self.env.get(node.id)
+            if unit == _CONFLICT:
+                return None
+            if unit is not None:
+                return unit
+            return unit_types.suffix_unit(node.id.lower())
+        if isinstance(node, ast.Attribute):
+            return unit_types.suffix_unit(node.attr.lower())
+        if isinstance(node, ast.Subscript):
+            key = node.slice
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                return unit_types.suffix_unit(key.value.lower())
+            return None
+        if isinstance(node, ast.Call):
+            return self._unit_of_call(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.unit_of(node.operand)
+        if isinstance(node, ast.BinOp):
+            return self._unit_of_binop(node)
+        if isinstance(node, ast.IfExp):
+            return self._merge_units(
+                [self.unit_of(node.body), self.unit_of(node.orelse)]
+            )
+        if isinstance(node, ast.BoolOp):
+            return self._merge_units(
+                [self.unit_of(value) for value in node.values]
+            )
+        if isinstance(node, ast.Starred):
+            return self.unit_of(node.value)
+        return None
+
+    @staticmethod
+    def _merge_units(units):
+        known = {unit for unit in units if unit is not None}
+        return known.pop() if len(known) == 1 else None
+
+    def _unit_of_call(self, node):
+        dotted = self.checker.resolver.dotted(node.func)
+        signature = unit_types.converter_signature(dotted)
+        if signature is not None:
+            return signature[1]
+        leaf = _call_leaf(node.func)
+        if leaf is not None:
+            return unit_types.suffix_unit(leaf.lower())
+        return None
+
+    def _unit_of_binop(self, node):
+        left = self.unit_of(node.left)
+        right = self.unit_of(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left is not None and right is not None:
+                return left if left == right else None
+            return left or right
+        if isinstance(node.op, ast.Mult):
+            if left is not None and right is not None:
+                return None
+            return left or right
+        if isinstance(node.op, (ast.Div, ast.FloorDiv, ast.Mod)):
+            if left is not None and right is None:
+                return left
+            return None
+        return None
+
+    # -- flagging walk ---------------------------------------------------
+
+    def run(self):
+        self.build_env()
+        for node in _own_nodes(self.scope_body):
+            if isinstance(node, ast.BinOp):
+                self._check_binop(node)
+            elif isinstance(node, ast.Compare):
+                self._check_compare(node)
+            elif isinstance(node, ast.Call):
+                self._check_call(node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self._check_assign(node)
+            elif isinstance(node, ast.AugAssign):
+                self._check_augassign(node)
+            elif isinstance(node, ast.Return):
+                self._check_return(node)
+
+    def _check_binop(self, node):
+        if isinstance(node.op, (ast.Mult, ast.Div)):
+            for operand in (node.left, node.right):
+                if isinstance(operand, ast.Constant) and \
+                        unit_types.is_magic_scale(operand.value):
+                    self.checker.flag(
+                        "magic-conversion",
+                        node,
+                        f"bare {operand.value!r} scale factor; the "
+                        "conversion direction belongs in a repro.sim."
+                        "units helper",
+                    )
+                    break
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Div)):
+            left = self.unit_of(node.left)
+            right = self.unit_of(node.right)
+            if (
+                left is not None
+                and right is not None
+                and left != right
+                and (
+                    isinstance(node.op, (ast.Add, ast.Sub))
+                    or unit_types.same_dimension(left, right)
+                )
+            ):
+                op = {ast.Add: "+", ast.Sub: "-", ast.Div: "/"}[
+                    type(node.op)
+                ]
+                self.checker.flag(
+                    "unit-mismatch",
+                    node,
+                    f"`{left}` {op} `{right}`: operands are in "
+                    "different units",
+                )
+
+    def _check_compare(self, node):
+        operands = [node.left] + list(node.comparators)
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, _ORDERED_CMP):
+                continue
+            left = self.unit_of(operands[index])
+            right = self.unit_of(operands[index + 1])
+            if left is not None and right is not None and left != right:
+                self.checker.flag(
+                    "unit-mismatch",
+                    node,
+                    f"comparison between `{left}` and `{right}` values",
+                )
+
+    def _check_call(self, node):
+        dotted = self.checker.resolver.dotted(node.func)
+        signature = unit_types.converter_signature(dotted)
+        leaf = _call_leaf(node.func)
+        if signature is not None:
+            expected, _returns = signature
+            if expected is not None and node.args:
+                actual = self.unit_of(node.args[0])
+                if actual is not None and actual != expected:
+                    self.checker.flag(
+                        "unit-arg-mismatch",
+                        node,
+                        f"{dotted}() converts from `{expected}` but the "
+                        f"argument is `{actual}`",
+                    )
+            return
+        if leaf is None:
+            return
+        parameters = unit_types.declared_parameters(leaf)
+        if not parameters:
+            parameters = self.checker.module_signatures.get(leaf) or ()
+        for position, param_name, expected in parameters:
+            argument = None
+            for keyword in node.keywords:
+                if keyword.arg == param_name:
+                    argument = keyword.value
+            if argument is None and position < len(node.args):
+                argument = node.args[position]
+            if argument is None:
+                continue
+            actual = self.unit_of(argument)
+            if actual is not None and actual != expected:
+                self.checker.flag(
+                    "unit-arg-mismatch",
+                    argument,
+                    f"{leaf}() parameter `{param_name}` is declared "
+                    f"`{expected}` but the argument is `{actual}`",
+                )
+
+    def _check_assign(self, node):
+        value = node.value if not isinstance(node, ast.AnnAssign) else node.value
+        if value is None:
+            return
+        targets = node.targets if isinstance(node, ast.Assign) else (node.target,)
+        inferred = self.unit_of(value)
+        if inferred is None:
+            return
+        for target in targets:
+            declared = None
+            if isinstance(target, ast.Name):
+                declared = unit_types.suffix_unit(target.id.lower())
+            elif isinstance(target, ast.Attribute):
+                declared = unit_types.suffix_unit(target.attr.lower())
+            if declared is not None and declared != inferred:
+                self.checker.flag(
+                    "unit-mismatch",
+                    node,
+                    f"assigning a `{inferred}` value to a name declared "
+                    f"`{declared}`",
+                )
+
+    def _check_augassign(self, node):
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return
+        declared = None
+        if isinstance(node.target, ast.Name):
+            declared = unit_types.suffix_unit(node.target.id.lower())
+        elif isinstance(node.target, ast.Attribute):
+            declared = unit_types.suffix_unit(node.target.attr.lower())
+        inferred = self.unit_of(node.value)
+        if declared is not None and inferred is not None \
+                and declared != inferred:
+            self.checker.flag(
+                "unit-mismatch",
+                node,
+                f"accumulating a `{inferred}` value into a name declared "
+                f"`{declared}`",
+            )
+
+    def _check_return(self, node):
+        if self.func is None or node.value is None:
+            return
+        declared = unit_types.suffix_unit(self.func.name.lower())
+        if declared is None:
+            return
+        inferred = self.unit_of(node.value)
+        if inferred is not None and inferred != declared:
+            self.checker.flag(
+                "unit-mismatch",
+                node,
+                f"function name declares `{declared}` but returns a "
+                f"`{inferred}` value",
+            )
+
+
+def _call_leaf(func):
+    """The rightmost name of a call target, or ``None``."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _collect_module_signatures(tree):
+    """Same-module callables with unit-suffixed parameters.
+
+    Maps a callable leaf name to a tuple of
+    ``(call position, parameter name, unit)`` entries. Methods drop
+    their ``self``/``cls`` slot; a class name maps to its ``__init__``.
+    Colliding definitions with different unit signatures are dropped —
+    the pass only checks what it can resolve unambiguously.
+    """
+
+    signatures = {}
+
+    def record(name, params, skip_first):
+        entries = []
+        offset = 1 if skip_first else 0
+        for index, param in enumerate(params[offset:]):
+            unit = unit_types.suffix_unit(param.arg.lower())
+            if unit is not None:
+                entries.append((index, param.arg, unit))
+        entries = tuple(entries)
+        if name in signatures and signatures[name] != entries:
+            signatures[name] = None
+        else:
+            signatures[name] = entries
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            params = list(node.args.posonlyargs) + list(node.args.args)
+            record(node.name, params, skip_first=False)
+        elif isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    params = list(stmt.args.posonlyargs) + list(
+                        stmt.args.args
+                    )
+                    if stmt.name == "__init__":
+                        record(node.name, params, skip_first=True)
+                    else:
+                        # Re-record the method with the self slot
+                        # removed; collisions with the plain-function
+                        # record of the same name resolve to ambiguity.
+                        record(stmt.name, params, skip_first=True)
+    return {
+        name: entries
+        for name, entries in signatures.items()
+        if entries  # drop ambiguous (None) and suffix-free signatures
+    }
+
+
+# ---------------------------------------------------------------------------
+# Protocol pass
+# ---------------------------------------------------------------------------
+
+#: Handle states tracked by the protocol pass.
+_REQ = "requested"
+_REL = "released"
+_ABSENT = "absent"
+
+#: Call names that construct yieldable events (process-body heuristic).
+_EVENT_CONSTRUCTORS = frozenset(
+    {"Sleep", "Work", "WaitFor", "Timeout", "Event", "AllOf", "AnyOf"}
+)
+_EVENT_METHODS = frozenset(
+    {"timeout", "event", "request", "any_of", "all_of", "get", "process"}
+)
+
+
+def _is_eventish(node, request_names):
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name):
+            return node.func.id in _EVENT_CONSTRUCTORS
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr in _EVENT_METHODS
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in request_names
+    return False
+
+
+def _is_plainly_non_event(node):
+    """Expressions that are certainly not Event instances."""
+    if node is None:  # bare ``yield``
+        return True
+    return isinstance(
+        node,
+        (
+            ast.Constant,
+            ast.List,
+            ast.Tuple,
+            ast.Dict,
+            ast.Set,
+            ast.BinOp,
+            ast.Compare,
+            ast.BoolOp,
+            ast.JoinedStr,
+        ),
+    )
+
+
+class _ProtocolPass:
+    """Flow-sensitive request/release pairing over one generator body."""
+
+    def __init__(self, checker, func):
+        self.checker = checker
+        self.func = func
+        #: handle name -> set of states on the paths reaching here.
+        self.state = {}
+        #: stack of protection frames (handle names released by an
+        #: enclosing ``finally``, broad handler, or handle-``with``).
+        self.protections = []
+        #: >0 while walking exception-handler bodies: releases there are
+        #: cleanup (the body's own release cannot have run first), so the
+        #: "released on some path" double-release case does not apply.
+        self.cleanup_depth = 0
+        self.leak_reported = set()
+        self.request_names = {
+            stmt.targets[0].id
+            for stmt in _own_nodes(func.body)
+            if isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and _is_request_call(stmt.value)
+        }
+        self.process_like = self._detect_process_like()
+
+    def _detect_process_like(self):
+        for node in _own_nodes(self.func.body):
+            if isinstance(node, ast.Yield) and node.value is not None \
+                    and _is_eventish(node.value, self.request_names):
+                return True
+            if _is_request_call(node):
+                return True
+        return False
+
+    # -- state helpers ---------------------------------------------------
+
+    def _protected(self, name):
+        return any(name in frame for frame in self.protections)
+
+    def _merge(self, state_a, state_b):
+        merged = {}
+        for name in set(state_a) | set(state_b):
+            merged[name] = state_a.get(name, {_ABSENT}) | state_b.get(
+                name, {_ABSENT}
+            )
+        return merged
+
+    def _leak(self, name, node, message):
+        if name in self.leak_reported:
+            return
+        self.leak_reported.add(name)
+        self.checker.flag("resource-leak", node, message)
+
+    def _check_held_at_exit(self, node, how):
+        for name, states in sorted(self.state.items()):
+            if _REQ in states and not self._protected(name):
+                self._leak(
+                    name,
+                    node,
+                    f"request `{name}` is still held {how}",
+                )
+
+    # -- events within simple statements ---------------------------------
+
+    def _scan_events(self, stmt):
+        events = []
+        for node in ast.walk(stmt):
+            if _is_request_call(node):
+                target = None
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and stmt.value is node
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                ):
+                    target = stmt.targets[0].id
+                discarded = isinstance(stmt, ast.Expr) and stmt.value is node
+                events.append(("request", target, discarded, node))
+            elif isinstance(node, ast.Call):
+                handle = _release_handle(node)
+                if handle is not None:
+                    events.append(("release", handle, False, node))
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                events.append(("yield", None, False, node))
+        events.sort(key=lambda item: (item[3].lineno, item[3].col_offset))
+        return events
+
+    def _apply_request(self, name, discarded, node):
+        if discarded or name is None:
+            if discarded:
+                self._leak(
+                    f"<anonymous:{node.lineno}>",
+                    node,
+                    "request() handle discarded; the grant can never be "
+                    "released",
+                )
+            return
+        states = self.state.get(name)
+        if states is not None and _REQ in states:
+            self._leak(
+                name,
+                node,
+                f"`{name}` reassigned by request() while the previous "
+                "grant is still held",
+            )
+        self.state[name] = {_REQ}
+
+    def _apply_release(self, name, node, in_finally=False):
+        states = self.state.get(name)
+        if states is None:
+            return
+        if states <= {_REL}:
+            self.checker.flag(
+                "double-release",
+                node,
+                f"`{name}` has already been released on every path "
+                "reaching this release()",
+            )
+        elif _REL in states and not in_finally and not self.cleanup_depth:
+            self.checker.flag(
+                "double-release",
+                node,
+                f"`{name}` was already released on some path reaching "
+                "this release()",
+            )
+        elif _ABSENT in states:
+            self.checker.flag(
+                "release-unowned",
+                node,
+                f"`{name}` was never requested on some path reaching "
+                "this release()",
+            )
+        self.state[name] = {_REL}
+
+    def _apply_yield(self, node):
+        if self.process_like and isinstance(node, ast.Yield) \
+                and _is_plainly_non_event(node.value):
+            what = "a bare yield" if node.value is None else (
+                "a non-Event value"
+            )
+            self.checker.flag(
+                "yield-non-event",
+                node,
+                f"process yields {what}; the engine only accepts Events",
+            )
+        for name, states in sorted(self.state.items()):
+            if _REQ in states and not self._protected(name):
+                self._leak(
+                    name,
+                    node,
+                    f"`{name}` is held across a yield with no finally/"
+                    "with protection; an interrupt here leaks the grant",
+                )
+
+    # -- block walking ---------------------------------------------------
+
+    def run(self):
+        self._walk_block(self.func.body)
+        end = self.func.body[-1] if self.func.body else self.func
+        self._check_held_at_exit(end, "when the process body ends")
+
+    def _walk_block(self, body):
+        """Walk a statement list; returns False when the path dies."""
+        for stmt in body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # nested scopes are analyzed separately
+            if isinstance(stmt, ast.If):
+                self._walk_if(stmt)
+            elif isinstance(stmt, (ast.While, ast.For)):
+                self._walk_loop(stmt)
+            elif isinstance(stmt, ast.Try):
+                self._walk_try(stmt)
+            elif isinstance(stmt, ast.With):
+                self._walk_with(stmt)
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    self._run_events(stmt)
+                self._check_held_at_exit(stmt, "at this return")
+                return False
+            elif isinstance(stmt, ast.Raise):
+                self._run_events(stmt)
+                self._check_held_at_exit(
+                    stmt, "when this exception propagates"
+                )
+                return False
+            elif isinstance(stmt, (ast.Break, ast.Continue)):
+                return False
+            else:
+                self._run_events(stmt)
+        return True
+
+    def _run_events(self, stmt):
+        for kind, name, discarded, node in self._scan_events(stmt):
+            if kind == "request":
+                self._apply_request(name, discarded, node)
+            elif kind == "release":
+                self._apply_release(name, node)
+            else:
+                self._apply_yield(node)
+
+    def _walk_if(self, stmt):
+        self._run_events(stmt.test)
+        entry = {name: set(states) for name, states in self.state.items()}
+        then_live = self._walk_block(stmt.body)
+        then_state = self.state
+        self.state = entry
+        else_live = self._walk_block(stmt.orelse)
+        else_state = self.state
+        if then_live and else_live:
+            self.state = self._merge(then_state, else_state)
+        elif then_live:
+            self.state = then_state
+        else:
+            self.state = else_state
+
+    def _walk_loop(self, stmt):
+        if isinstance(stmt, ast.While):
+            self._run_events(stmt.test)
+            self._check_yieldless_loop(stmt)
+        else:
+            self._run_events(stmt.iter)
+        entry = {name: set(states) for name, states in self.state.items()}
+        self._walk_block(stmt.body)
+        # Second pass from the merged state catches a request carried
+        # into the next iteration while still held; findings de-dupe.
+        self.state = self._merge(entry, self.state)
+        self._walk_block(stmt.body)
+        self.state = self._merge(entry, self.state)
+        self._walk_block(stmt.orelse)
+
+    def _check_yieldless_loop(self, stmt):
+        if not self.process_like:
+            return
+        test = stmt.test
+        is_forever = isinstance(test, ast.Constant) and bool(test.value)
+        if not is_forever:
+            return
+        for node in _own_nodes(stmt.body):
+            if isinstance(
+                node,
+                (ast.Yield, ast.YieldFrom, ast.Return, ast.Break, ast.Raise),
+            ):
+                return
+        self.checker.flag(
+            "yieldless-loop",
+            stmt,
+            "`while True:` with no yield never advances simulated time",
+        )
+
+    def _walk_try(self, stmt):
+        finally_releases = _released_names(stmt.finalbody)
+        handler_releases = set()
+        for handler in stmt.handlers:
+            if _handler_catches_interrupt(handler):
+                handler_releases |= _released_names(handler.body)
+        entry = {name: set(states) for name, states in self.state.items()}
+        self.protections.append(finally_releases | handler_releases)
+        body_live = self._walk_block(stmt.body)
+        self.protections.pop()
+        body_state = self.state
+        if body_live:
+            self._walk_block(stmt.orelse)
+            body_state = self.state
+        exit_states = [body_state] if body_live else []
+        for handler in stmt.handlers:
+            # A handler can run after any prefix of the body: merge the
+            # entry and body-exit states as its conservative input.
+            self.state = self._merge(entry, body_state)
+            self.cleanup_depth += 1
+            handler_live = self._walk_block(handler.body)
+            self.cleanup_depth -= 1
+            if handler_live:
+                exit_states.append(self.state)
+        if exit_states:
+            merged = exit_states[0]
+            for other in exit_states[1:]:
+                merged = self._merge(merged, other)
+            self.state = merged
+        else:
+            self.state = self._merge(entry, body_state)
+        for stmt_final in stmt.finalbody:
+            self._walk_finally(stmt_final)
+
+    def _walk_finally(self, stmt):
+        """Finally bodies run on every exit: releases there are softer."""
+        if isinstance(stmt, (ast.If, ast.While, ast.For, ast.Try, ast.With)):
+            self._walk_block([stmt])
+            return
+        for kind, name, discarded, node in self._scan_events(stmt):
+            if kind == "request":
+                self._apply_request(name, discarded, node)
+            elif kind == "release":
+                self._apply_release(name, node, in_finally=True)
+            else:
+                self._apply_yield(node)
+
+    def _walk_with(self, stmt):
+        frame = set()
+        for item in stmt.items:
+            context = item.context_expr
+            if _is_request_call(context):
+                if isinstance(item.optional_vars, ast.Name):
+                    name = item.optional_vars.id
+                    self._apply_request(name, False, context)
+                    frame.add(name)
+                # ``with res.request():`` grants and auto-releases; no
+                # handle escapes, so nothing to track.
+            elif isinstance(context, ast.Name) and context.id in self.state:
+                frame.add(context.id)
+            else:
+                self._run_events(context)
+        self.protections.append(frame)
+        self._walk_block(stmt.body)
+        self.protections.pop()
+        for name in frame:
+            # The context manager releases idempotently at exit.
+            self.state[name] = {_REL}
+
+
+def _is_request_call(node):
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "request"
+    )
+
+
+def _release_handle(node):
+    """Handle name targeted by a release call, or ``None``."""
+    if not isinstance(node, ast.Call) or not isinstance(
+        node.func, ast.Attribute
+    ) or node.func.attr != "release":
+        return None
+    if not node.args and isinstance(node.func.value, ast.Name):
+        return node.func.value.id
+    if len(node.args) == 1 and isinstance(node.args[0], ast.Name):
+        return node.args[0].id
+    return None
+
+
+def _released_names(body):
+    names = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            handle = _release_handle(node)
+            if handle is not None:
+                names.add(handle)
+    return names
+
+
+def _handler_catches_interrupt(handler):
+    """Whether an except clause would catch :class:`Interrupted`."""
+    if handler.type is None:
+        return True
+    names = set()
+    nodes = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return bool(names & {"Interrupted", "Exception", "BaseException"})
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+class _Checker:
+    """One module's semcheck run: shared flag sink for both passes."""
+
+    def __init__(self, path, tree):
+        self.path = path
+        self.findings = []
+        self._seen = set()
+        self.resolver = AliasResolver(tree, _TRACKED_ROOTS)
+        self.module_signatures = _collect_module_signatures(tree)
+
+    def flag(self, rule, node, message):
+        finding = Finding(
+            rule, self.path, node.lineno, node.col_offset, message
+        )
+        if finding.key() in self._seen:
+            return
+        self._seen.add(finding.key())
+        self.findings.append(finding)
+
+
+def semcheck_source(source, path, config=None, resolved_path=None):
+    """Semcheck one module's source text; returns ``(findings, errors)``.
+
+    ``path`` is the display path attached to findings; ``resolved_path``
+    (defaulting to ``path``) is what the config globs match against.
+    """
+    config = config or DEFAULT_CONFIG
+    resolved_path = resolved_path or path
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [], [
+            LintError(path, exc.lineno or 0, f"syntax error: {exc.msg}")
+        ]
+    line_allows, file_allows, errors = parse_pragmas(
+        source, path, applicable=set(RULES_BY_ID)
+    )
+    checker = _Checker(path, tree)
+    in_units_module = matches_any(resolved_path, config.units_modules)
+    functions = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    if not in_units_module:
+        _UnitsPass(checker, tree.body).run()
+        for func in functions:
+            _UnitsPass(checker, func.body, func=func).run()
+    for func in functions:
+        if _has_own_yield(func):
+            _ProtocolPass(checker, func).run()
+    findings = sorted(
+        (
+            finding
+            for finding in checker.findings
+            if finding.rule not in file_allows
+            and finding.rule not in line_allows.get(finding.line, ())
+        ),
+        key=lambda finding: finding.key(),
+    )
+    return findings, errors
+
+
+def semcheck_paths(paths, config=None):
+    """Semcheck every ``*.py`` file under ``paths``."""
+    return check_paths(
+        paths,
+        lambda source, display, resolved: semcheck_source(
+            source, display, config=config, resolved_path=resolved
+        ),
+    )
+
+
+def render_findings(findings, show_hints=True):
+    """Human-readable report lines for semcheck findings."""
+    return _render_findings(findings, RULES_BY_ID, show_hints=show_hints)

@@ -230,36 +230,43 @@ class FastRpcChannel:
                 # are sunk. _fail_injected always raises.
                 yield from self._fail_injected(fault, span, label,
                                                queue_start)
-            request = self.dsp.resource.request()
-            with probe(sim, "fastrpc", "dsp:queue",
-                       depth=self.dsp.resource.queue_length):
-                if self.queue_timeout_us is not None:
-                    deadline = sim.timeout(self.queue_timeout_us)
-                    yield WaitFor(sim.any_of([request, deadline]))
-                    if not request.granted:
-                        # Driver timeout: withdraw from the queue and
-                        # fail the call; the kernel exit path is still
-                        # charged.
-                        request.release()
-                        self.stats.dsp_queue_us += (
-                            self.kernel.now - queue_start
-                        )
-                        yield Work(
-                            params.IOCTL_US,
-                            label=f"fastrpc:{label}:etimedout",
-                        )
-                        self.stats.kernel_us += params.IOCTL_US
-                        self.stats.timeouts += 1
-                        if span is not None:
-                            span.meta["status"] = "timeout"
-                        raise FastRpcTimeout(
-                            f"DSP busy for {self.queue_timeout_us:.0f}us "
-                            f"(queue depth {self.dsp.resource.queue_length})"
-                        )
-                else:
-                    yield WaitFor(request)
-            self.stats.dsp_queue_us += self.kernel.now - queue_start
-            try:
+            # The grant is held in a with-block so the queue slot is
+            # returned on *every* exit — the old try/finally started
+            # after the queue wait, so an Interrupted thrown at the
+            # WaitFor (fault injection, watchdog abort) leaked the slot
+            # and wedged the capacity-1 DSP for the rest of the run.
+            with self.dsp.resource.request() as request:
+                with probe(sim, "fastrpc", "dsp:queue",
+                           depth=self.dsp.resource.queue_length):
+                    if self.queue_timeout_us is not None:
+                        deadline = sim.timeout(self.queue_timeout_us)
+                        yield WaitFor(sim.any_of([request, deadline]))
+                        if not request.granted:
+                            # Driver timeout: withdraw from the queue
+                            # and fail the call; the kernel exit path
+                            # is still charged. release() is
+                            # idempotent, so the with-exit is a no-op.
+                            request.release()
+                            self.stats.dsp_queue_us += (
+                                self.kernel.now - queue_start
+                            )
+                            yield Work(
+                                params.IOCTL_US,
+                                label=f"fastrpc:{label}:etimedout",
+                            )
+                            self.stats.kernel_us += params.IOCTL_US
+                            self.stats.timeouts += 1
+                            if span is not None:
+                                span.meta["status"] = "timeout"
+                            raise FastRpcTimeout(
+                                f"DSP busy for "
+                                f"{self.queue_timeout_us:.0f}us "
+                                f"(queue depth "
+                                f"{self.dsp.resource.queue_length})"
+                            )
+                    else:
+                        yield WaitFor(request)
+                self.stats.dsp_queue_us += self.kernel.now - queue_start
                 # Move inputs over AXI into VTCM, compute, move outputs
                 # back.
                 if self.dsp.coupling == "loose":
@@ -273,7 +280,9 @@ class FastRpcChannel:
                         "cdsp", label, process=self.process_id
                     )
                 with probe(sim, "fastrpc", "dsp:dispatch_compute"):
-                    yield Sleep(params.FASTRPC_DSP_DISPATCH_US + dsp_compute_us)
+                    yield Sleep(
+                        params.FASTRPC_DSP_DISPATCH_US + dsp_compute_us
+                    )
                 if span is not None:
                     sim.trace.end(span)
                 self.soc.energy.add_dsp_busy(
@@ -285,8 +294,6 @@ class FastRpcChannel:
                     with probe(sim, "fastrpc", "axi:output_transfer"):
                         yield Sleep(out_transfer)
                     self.stats.transfer_us += out_transfer
-            finally:
-                request.release()
 
             # DSP -> CPU completion signal, kernel exit, invalidate
             # outputs.

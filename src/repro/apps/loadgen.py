@@ -21,6 +21,7 @@ from repro.android.thread import Work
 from repro.apps.sessions import make_session
 from repro.models import load_model
 from repro.processing.costs import random_input_cost_us
+from repro.sim import units
 
 SINGLE_STREAM = "single_stream"
 OFFLINE = "offline"
@@ -99,7 +100,7 @@ class MlperfLoadgen:
             dtype=self.dtype,
             target=self.target,
             query_count=len(ordered),
-            p90_latency_ms=p90 / 1000.0,
-            mean_latency_ms=mean / 1000.0,
+            p90_latency_ms=units.to_ms(p90),
+            mean_latency_ms=units.to_ms(mean),
             throughput_qps=len(ordered) / (wall_us / 1e6) if wall_us else 0.0,
         )

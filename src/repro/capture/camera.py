@@ -15,6 +15,7 @@ the jitter stream models that.
 from repro.android import params as os_params
 from repro.android.thread import WaitFor, Work
 from repro.capture.frames import FrameDescriptor
+from repro.sim import units
 from repro.sim.resources import Store
 
 
@@ -48,7 +49,7 @@ class CameraHal:
         if not self.isp_enabled:
             return 0.0
         height, width = self.resolution
-        return height * width * self.ISP_NS_PER_PIXEL / 1_000.0
+        return units.ns(height * width * self.ISP_NS_PER_PIXEL)
 
     def start(self):
         """Begin frame delivery; idempotent.

@@ -26,6 +26,11 @@ Commands
     Run the determinism linter over the source tree (see
     docs/determinism.md). Exit 1 on findings, 2 on configuration
     errors (unknown rule ids, stale baseline entries).
+``semcheck``
+    Run the semantic checker: unit-suffix consistency (``_us`` vs
+    ``_ms`` arithmetic, bare ``* 1000`` conversions) and the resource
+    request/release protocol across yields and exception edges. Same
+    pragma/baseline/exit-code contract as ``lint``.
 ``sanitize``
     Replay a scenario, experiment, or small fleet twice with the
     runtime sanitizer attached and diff the event-stream sha256
@@ -47,6 +52,7 @@ from repro.core.report import render_breakdown
 from repro.core.variability import VariabilityStats
 from repro.experiments import REGISTRY, run_experiment
 from repro.models import MODEL_CARDS
+from repro.sim import units
 from repro.soc import SOC_SPECS
 
 
@@ -212,27 +218,35 @@ def _cmd_trace(args):
     )
     print(
         f"\nwrote {args.out} ({events} events, "
-        f"{session.sim.now / 1000.0:.1f} ms simulated)"
+        f"{units.to_ms(session.sim.now):.1f} ms simulated)"
     )
     print("open it at https://ui.perfetto.dev or chrome://tracing")
     return 0
 
 
-def _cmd_lint(args):
+def _run_checker(args, check_paths, render, known_rules, default_baseline,
+                 clean_label):
+    """Shared driver for the ``lint`` and ``semcheck`` commands.
+
+    Both checkers speak the same contract: pragma suppression, an
+    acknowledged-findings baseline (``--check`` makes stale entries
+    errors), a shared ``--format=json`` findings payload, and exit
+    codes 0 (clean) / 1 (findings) / 2 (the run cannot be trusted).
+    """
     import repro
     from repro.analysis import baseline as baseline_mod
-    from repro.analysis import lint as lint_mod
+    from repro.analysis.common import LintError, findings_to_json
 
     paths = args.paths or [pathlib.Path(repro.__file__).parent]
-    findings, errors = lint_mod.lint_paths(paths)
+    findings, errors = check_paths(paths)
 
     baseline_path = args.baseline
     if baseline_path is None:
-        default = pathlib.Path(baseline_mod.BASELINE_NAME)
+        default = pathlib.Path(default_baseline)
         baseline_path = default if default.exists() else None
 
     if args.write_baseline:
-        target = baseline_path or baseline_mod.BASELINE_NAME
+        target = baseline_path or default_baseline
         count = baseline_mod.write_baseline(target, findings)
         print(f"wrote {target} ({count} acknowledged findings)")
         for error in errors:
@@ -241,22 +255,23 @@ def _cmd_lint(args):
 
     entries = []
     if baseline_path is not None:
-        entries, baseline_errors = baseline_mod.load_baseline(baseline_path)
+        entries, baseline_errors = baseline_mod.load_baseline(
+            baseline_path, known_rules=known_rules
+        )
         errors = list(errors) + list(baseline_errors)
     new_findings, stale = baseline_mod.apply_baseline(findings, entries)
 
-    if args.json:
+    as_json = args.format == "json" or getattr(args, "json", False)
+    if as_json:
         import json
 
-        print(json.dumps(
-            [finding.__dict__ for finding in new_findings], indent=2
-        ))
+        print(json.dumps(findings_to_json(new_findings), indent=2))
     else:
-        for line in lint_mod.render_findings(new_findings):
+        for line in render(new_findings):
             print(line)
-    # In --json mode stdout carries the findings array and nothing else;
+    # In json mode stdout carries the findings array and nothing else;
     # diagnostics move to stderr so the output stays machine-readable.
-    diag = sys.stderr if args.json else sys.stdout
+    diag = sys.stderr if as_json else sys.stdout
     for entry in stale:
         message = (
             f"{entry.path}:{entry.line}: stale baseline entry "
@@ -264,7 +279,7 @@ def _cmd_lint(args):
         )
         if args.check:
             errors = list(errors) + [
-                lint_mod.LintError(entry.path, entry.line, message)
+                LintError(entry.path, entry.line, message)
             ]
         else:
             print(f"warning: {message}", file=diag)
@@ -281,11 +296,39 @@ def _cmd_lint(args):
         return 1
     suppressed = len(findings) - len(new_findings)
     print(
-        "determinism lint: clean"
+        f"{clean_label}: clean"
         + (f" ({suppressed} baselined)" if suppressed else ""),
         file=diag,
     )
     return 0
+
+
+def _cmd_lint(args):
+    from repro.analysis import baseline as baseline_mod
+    from repro.analysis import lint as lint_mod
+
+    return _run_checker(
+        args,
+        check_paths=lint_mod.lint_paths,
+        render=lint_mod.render_findings,
+        known_rules=lint_mod.RULES_BY_ID,
+        default_baseline=baseline_mod.BASELINE_NAME,
+        clean_label="determinism lint",
+    )
+
+
+def _cmd_semcheck(args):
+    from repro.analysis import baseline as baseline_mod
+    from repro.analysis import semcheck as semcheck_mod
+
+    return _run_checker(
+        args,
+        check_paths=semcheck_mod.semcheck_paths,
+        render=semcheck_mod.render_findings,
+        known_rules=semcheck_mod.RULES_BY_ID,
+        default_baseline=baseline_mod.SEMCHECK_BASELINE_NAME,
+        clean_label="semcheck",
+    )
 
 
 def _cmd_sanitize(args):
@@ -334,6 +377,33 @@ def _runs_parameter(experiment_id):
     import inspect
 
     return inspect.signature(REGISTRY[experiment_id]).parameters
+
+
+def _add_checker_arguments(parser, baseline_name):
+    """Arguments shared by the ``lint`` and ``semcheck`` commands."""
+    parser.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to check (default: the installed "
+             "repro package)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline of acknowledged findings (default: "
+             f"{baseline_name} if present)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="acknowledge all current findings into the baseline",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI mode: stale baseline entries are errors",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="findings output format (json is shared between lint and "
+             "semcheck for tooling)",
+    )
 
 
 def build_parser():
@@ -478,28 +548,18 @@ def build_parser():
         help="determinism lint over the source tree "
              "(docs/determinism.md)",
     )
-    lint_parser.add_argument(
-        "paths", nargs="*", default=None, metavar="PATH",
-        help="files or directories to lint (default: the installed "
-             "repro package)",
-    )
-    lint_parser.add_argument(
-        "--baseline", default=None, metavar="PATH",
-        help="baseline of acknowledged findings (default: "
-             ".repro-lint-baseline.json if present)",
-    )
-    lint_parser.add_argument(
-        "--write-baseline", action="store_true",
-        help="acknowledge all current findings into the baseline",
-    )
-    lint_parser.add_argument(
-        "--check", action="store_true",
-        help="CI mode: stale baseline entries are errors",
-    )
+    _add_checker_arguments(lint_parser, ".repro-lint-baseline.json")
     lint_parser.add_argument(
         "--json", action="store_true",
-        help="emit findings as JSON instead of text",
+        help="alias for --format=json (kept for tooling compatibility)",
     )
+
+    semcheck_parser = sub.add_parser(
+        "semcheck",
+        help="semantic checks: unit consistency and resource "
+             "request/release protocol (docs/determinism.md)",
+    )
+    _add_checker_arguments(semcheck_parser, ".repro-semcheck-baseline.json")
 
     sanitize_parser = sub.add_parser(
         "sanitize",
@@ -536,6 +596,7 @@ _HANDLERS = {
     "chaos": _cmd_chaos,
     "trace": _cmd_trace,
     "lint": _cmd_lint,
+    "semcheck": _cmd_semcheck,
     "sanitize": _cmd_sanitize,
     "report": _cmd_report,
 }

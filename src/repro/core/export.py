@@ -9,6 +9,8 @@ import csv
 import io
 import json
 
+from repro.sim import units
+
 _RUN_FIELDS = (
     "index", "capture_ms", "pre_ms", "inference_ms", "post_ms",
     "other_ms", "total_ms", "tax_fraction",
@@ -22,12 +24,12 @@ def runs_to_rows(collection):
         rows.append(
             {
                 "index": index,
-                "capture_ms": run.capture_us / 1000.0,
-                "pre_ms": run.pre_us / 1000.0,
-                "inference_ms": run.inference_us / 1000.0,
-                "post_ms": run.post_us / 1000.0,
-                "other_ms": run.other_us / 1000.0,
-                "total_ms": run.total_us / 1000.0,
+                "capture_ms": units.to_ms(run.capture_us),
+                "pre_ms": units.to_ms(run.pre_us),
+                "inference_ms": units.to_ms(run.inference_us),
+                "post_ms": units.to_ms(run.post_us),
+                "other_ms": units.to_ms(run.other_us),
+                "total_ms": units.to_ms(run.total_us),
                 "tax_fraction": run.tax_fraction,
             }
         )
@@ -94,11 +96,11 @@ def rows_to_runs(rows, name="imported"):
     for row in rows:
         collection.add(
             PipelineRun(
-                capture_us=float(row["capture_ms"]) * 1000.0,
-                pre_us=float(row["pre_ms"]) * 1000.0,
-                inference_us=float(row["inference_ms"]) * 1000.0,
-                post_us=float(row["post_ms"]) * 1000.0,
-                other_us=float(row["other_ms"]) * 1000.0,
+                capture_us=units.ms(float(row["capture_ms"])),
+                pre_us=units.ms(float(row["pre_ms"])),
+                inference_us=units.ms(float(row["inference_ms"])),
+                post_us=units.ms(float(row["post_ms"])),
+                other_us=units.ms(float(row["other_ms"])),
             )
         )
     return collection

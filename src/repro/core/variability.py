@@ -8,6 +8,8 @@ benchmark loops are tight. These statistics quantify that.
 import math
 from dataclasses import dataclass
 
+from repro.sim import units
+
 
 @dataclass(frozen=True)
 class VariabilityStats:
@@ -32,7 +34,7 @@ class VariabilityStats:
         trimmed = collection.drop_warmup(drop_warmup) if drop_warmup else collection
         if len(trimmed) == 0:
             trimmed = collection
-        values = sorted(run.total_us / 1000.0 for run in trimmed)
+        values = sorted(units.to_ms(run.total_us) for run in trimmed)
         if not values:
             raise ValueError(f"no runs in collection {collection.name!r}")
         n = len(values)
@@ -75,7 +77,7 @@ class VariabilityStats:
 def histogram_of(collection, bins=10, drop_warmup=1):
     """(bin_low_ms, bin_high_ms, count) triples over total latency."""
     trimmed = collection.drop_warmup(drop_warmup) if drop_warmup else collection
-    values = sorted(run.total_us / 1000.0 for run in trimmed)
+    values = sorted(units.to_ms(run.total_us) for run in trimmed)
     if not values:
         return []
     low, high = values[0], values[-1]

@@ -13,6 +13,7 @@ from repro.experiments.base import ExperimentResult, experiment
 from repro.models import load_model
 from repro.processing.costs import random_input_cost_us
 from repro.sim import Simulator
+from repro.sim import units
 from repro.soc import make_soc
 
 
@@ -110,7 +111,7 @@ def run_coupling(seed=0, model_key="mobilenet_v1", invokes=20):
             channel.stats.cache_flush_us + channel.stats.transfer_us
         ) / invokes
         rows.append(
-            (coupling, sum(durations[1:]) / (invokes - 1) / 1000.0, per_call)
+            (coupling, units.to_ms(sum(durations[1:]) / (invokes - 1)), per_call)
         )
     return ExperimentResult(
         experiment_id="ablation_coupling",
@@ -132,8 +133,8 @@ def run_stdlib(model_key="mobilenet_v1"):
     headers = ("stdlib", "fp32 gen ms", "int8 gen ms", "int8/fp32")
     rows = []
     for stdlib in ("libc++", "libstdc++"):
-        fp32_ms = random_input_cost_us(elements, "fp32", stdlib) / 1000.0
-        int8_ms = random_input_cost_us(elements, "int8", stdlib) / 1000.0
+        fp32_ms = units.to_ms(random_input_cost_us(elements, "fp32", stdlib))
+        int8_ms = units.to_ms(random_input_cost_us(elements, "int8", stdlib))
         rows.append((stdlib, fp32_ms, int8_ms, int8_ms / fp32_ms))
     return ExperimentResult(
         experiment_id="ablation_stdlib",

@@ -25,6 +25,7 @@ from repro.experiments.base import ExperimentResult, experiment
 from repro.frameworks import FAST_SINGLE_ANSWER, LOW_POWER, SUSTAINED_SPEED
 from repro.models import load_model
 from repro.sim import Simulator
+from repro.sim import units
 from repro.soc import make_soc
 
 
@@ -81,16 +82,16 @@ def run_energy(seed=0, model_key="mobilenet_v1", invokes=20):
         snapshot = soc.energy.snapshot()
         durations = _drive(sim, kernel, session, invokes)
         delta = soc.energy.since(snapshot)
-        mean_ms = sum(durations) / len(durations) / 1000.0
-        mj_per_inf = delta["total_uj"] / invokes / 1000.0
+        mean_ms = units.to_ms(sum(durations) / len(durations))
+        mj_per_inf = units.to_mj(delta["total_uj"] / invokes)
         rows.append(
             (
                 label,
                 mean_ms,
                 mj_per_inf,
-                delta["cpu_uj"] / invokes / 1000.0,
-                (delta["gpu_uj"] + delta["dsp_uj"]) / invokes / 1000.0,
-                delta["dram_uj"] / invokes / 1000.0,
+                units.to_mj(delta["cpu_uj"] / invokes),
+                units.to_mj((delta["gpu_uj"] + delta["dsp_uj"]) / invokes),
+                units.to_mj(delta["dram_uj"] / invokes),
                 mj_per_inf * mean_ms,
             )
         )
@@ -129,8 +130,8 @@ def run_preferences(seed=0, model_key="inception_v3", dtype="fp32",
         rows.append(
             (
                 preference,
-                sum(durations) / len(durations) / 1000.0,
-                delta["total_uj"] / invokes / 1000.0,
+                units.to_ms(sum(durations) / len(durations)),
+                units.to_mj(delta["total_uj"] / invokes),
             )
         )
     return ExperimentResult(
@@ -159,8 +160,8 @@ def run_thermal(seed=0, model_key="inception_v3", dtype="fp32",
     warm = durations[1:]
     head = warm[: len(warm) // 5]
     tail = warm[-len(warm) // 5:]
-    head_ms = sum(head) / len(head) / 1000.0
-    tail_ms = sum(tail) / len(tail) / 1000.0
+    head_ms = units.to_ms(sum(head) / len(head))
+    tail_ms = units.to_ms(sum(tail) / len(tail))
     cooldown_us = soc.thermal.cooldown_time_us()
     headers = (
         "Metric", "value",
@@ -178,7 +179,7 @@ def run_thermal(seed=0, model_key="inception_v3", dtype="fp32",
         title=f"{model_key} [{dtype}] sustained CPU load: thermal drift",
         headers=headers,
         rows=rows,
-        series={"latency_ms": [d / 1000.0 for d in warm]},
+        series={"latency_ms": [units.to_ms(d) for d in warm]},
         notes=[
             "paper §III-D cools to ~33C before each run precisely to "
             "avoid this drift contaminating measurements",
@@ -286,13 +287,13 @@ def run_model_scaling(runs=6, seed=0, resolutions=(128, 160, 192, 224)):
         sim, soc, kernel = _session_rig(seed=seed, governor="performance")
         session = TfliteInterpreter(kernel, graph, threads=4)
         durations = _drive(sim, kernel, session, 4)
-        warm_ms = sum(durations[1:]) / 3 / 1000.0
+        warm_ms = units.to_ms(sum(durations[1:]) / 3)
         rows.append(
             (
                 f"{resolution}x{resolution}",
                 graph.total_flops / 1e9,
                 warm_ms,
-                resize_cost_us((resolution, resolution), impl="java") / 1000.0,
+                units.to_ms(resize_cost_us((resolution, resolution), impl="java")),
             )
         )
     return ExperimentResult(
@@ -416,8 +417,8 @@ def run_init_time(seed=0, switches=5):
         model = load_model(model_key, dtype)
         session = make_session(kernel, model, target=target)
         durations = _drive(sim, kernel, session, 4)
-        warm_ms = sum(durations[1:]) / 3 / 1000.0
-        init_ms = session.stats.init_us / 1000.0
+        warm_ms = units.to_ms(sum(durations[1:]) / 3)
+        init_ms = units.to_ms(session.stats.init_us)
         rows.append(
             (
                 f"{model_key} [{dtype}]",
@@ -459,7 +460,7 @@ def run_init_time(seed=0, switches=5):
 
         thread = kernel.spawn_on_big(body(), name="switcher")
         sim.run(until=thread.done)
-        return start_done["t"] / 1000.0
+        return units.to_ms(start_done["t"])
 
     reload_ms = _switching(resident=False)
     resident_ms = _switching(resident=True)
@@ -496,7 +497,7 @@ def run_streaming(runs=20, seed=0):
         )
         records, sim, soc, kernel, packaging = run_pipeline_with_rig(config)
         mean_ms = breakdown(records).total_ms
-        fps = 1000.0 / mean_ms if mean_ms else 0.0
+        fps = units.fps_from_ms(mean_ms) if mean_ms else 0.0
         dropped = packaging.camera.frames_dropped if packaging.camera else 0
         rows.append((model_key, dtype, mean_ms, min(fps, config.fps), dropped))
     return ExperimentResult(

@@ -9,6 +9,7 @@ the app's pipeline and not in the benchmark loop.
 from repro.apps import PipelineConfig, run_pipeline
 from repro.core.variability import VariabilityStats, histogram_of
 from repro.experiments.base import ExperimentResult, experiment
+from repro.sim import units
 
 
 @experiment("fig11")
@@ -47,7 +48,7 @@ def run(runs=150, seed=0, model_key="mobilenet_v1", dtype="fp32",
         )
         series[f"{label}_histogram"] = histogram_of(records, bins=12)
         series[f"{label}_latencies_ms"] = [
-            run.total_us / 1000.0 for run in records.drop_warmup(1)
+            units.to_ms(run.total_us) for run in records.drop_warmup(1)
         ]
     return ExperimentResult(
         experiment_id="fig11",

@@ -11,6 +11,7 @@ profile: per-track utilization timelines plus counter totals.
 from repro.apps import PipelineConfig
 from repro.apps.harness import run_pipeline_with_rig
 from repro.experiments.base import ExperimentResult, experiment
+from repro.sim import units
 
 TARGETS = ("cpu", "hexagon", "nnapi")
 
@@ -39,9 +40,9 @@ def _profile(target, runs, seed, model_key, dtype, bucket_ms):
         "migrations": trace.counter_total("migration"),
         "ctx_switches": trace.counter_total("ctx_switch"),
         "axi_mb": trace.counter_total("axi_bytes") / 1e6,
-        "wall_ms": sim.now / 1000.0,
+        "wall_ms": units.to_ms(sim.now),
         "timelines": {
-            track: trace.timeline(track, bucket_ms * 1000.0)
+            track: trace.timeline(track, units.ms(bucket_ms))
             for track in big_tracks + ["cdsp"]
         },
     }

@@ -11,6 +11,7 @@ from repro.apps.sessions import make_session
 from repro.experiments.base import ExperimentResult, experiment
 from repro.models import load_model
 from repro.sim import Simulator
+from repro.sim import units
 from repro.soc import make_soc
 
 COUNTS = (1, 2, 5, 10, 20, 50, 100, 200, 500)
@@ -54,13 +55,13 @@ def run(seed=0, model_key="mobilenet_v1", dtype="int8", target="nnapi",
         rows.append(
             (
                 count,
-                total_us / 1000.0,
-                total_us / count / 1000.0,
-                overhead_us / 1000.0,
+                units.to_ms(total_us),
+                units.to_ms(total_us / count),
+                units.to_ms(overhead_us),
                 share,
             )
         )
-        mean_series.append(total_us / count / 1000.0)
+        mean_series.append(units.to_ms(total_us / count))
         share_series.append(share)
     return ExperimentResult(
         experiment_id="fig8",

@@ -22,6 +22,7 @@ from repro.experiments.base import ExperimentResult, experiment
 from repro.models import load_model, model_card
 from repro.processing import build_preprocessor
 from repro.sim import Simulator
+from repro.sim import units
 from repro.soc import make_soc
 
 #: HVX speedup for vectorizable image kernels vs one big CPU core
@@ -40,7 +41,7 @@ def run_pipelining(frames=20, seed=0, model_key="efficientnet_lite0",
         )
     )
     seq = breakdown(sequential)
-    seq_fps = 1000.0 / seq.total_ms if seq.total_ms else 0.0
+    seq_fps = units.fps_from_ms(seq.total_ms) if seq.total_ms else 0.0
 
     sim = Simulator(seed=seed)
     soc = make_soc(sim, "sd845")
@@ -147,12 +148,12 @@ def run_arvr_multimodel(frames=12, seed=0):
         sim.run(until=thread.done)
         del workers
         warm = frame_times[1:]
-        frame_ms = sum(warm) / len(warm) / 1000.0
+        frame_ms = units.to_ms(sum(warm) / len(warm))
         per_model = ", ".join(
-            f"{sum(times[1:]) / len(times[1:]) / 1000.0:.1f}"
+            f"{units.to_ms(sum(times[1:]) / len(times[1:])):.1f}"
             for times in model_times
         )
-        rows.append((label, frame_ms, 1000.0 / frame_ms, per_model))
+        rows.append((label, frame_ms, units.fps_from_ms(frame_ms), per_model))
     return ExperimentResult(
         experiment_id="arvr_multimodel",
         title="Three concurrent models (AR/VR): placement comparison",
@@ -257,7 +258,7 @@ def run_driver_versions(invokes=8, seed=0, model_key="efficientnet_lite0",
         rows.append(
             (
                 level,
-                sum(warm) / len(warm) / 1000.0,
+                units.to_ms(sum(warm) / len(warm)),
                 session.reference_fallback,
                 session.accelerated_fraction(),
             )
@@ -311,8 +312,8 @@ def _fastcv_app_run(sim, kernel, runs, model_key, dtype, pre_on_dsp,
     thread = kernel.spawn_on_big(body(), name="fastcv_app")
     sim.run(until=thread.done)
     return (
-        stage_totals["pre"] / runs / 1000.0,
-        stage_totals["inference"] / runs / 1000.0,
+        units.to_ms(stage_totals["pre"] / runs),
+        units.to_ms(stage_totals["inference"] / runs),
     )
 
 

@@ -10,6 +10,7 @@ Two kernel tiers matter for the paper's Fig. 5:
   threaded by construction.
 """
 
+from repro.sim import units
 from repro.soc import params
 
 IMPL_TUNED = "tuned"
@@ -42,7 +43,7 @@ def op_cpu_work_us(op, dtype, impl=IMPL_TUNED):
             rate_gflops /= _REFERENCE_FP_SLOWDOWN
     else:
         raise ValueError(f"unknown CPU kernel impl {impl!r}")
-    compute_us = op.flops / (rate_gflops * 1e3)
+    compute_us = op.flops / units.per_us_rate(rate_gflops)
     return compute_us + params.CPU_OP_DISPATCH_US
 
 

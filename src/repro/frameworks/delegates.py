@@ -49,9 +49,11 @@ class GpuDelegate:
         yield Work(
             memory.dram_copy_us(model.input_bytes), label="gpu:upload"
         )
-        request = self.gpu.resource.request()
-        yield WaitFor(request)
-        try:
+        # with-block instead of try/finally: the old finally began only
+        # after the queue wait, so an interrupt at the WaitFor leaked
+        # the GPU grant.
+        with self.gpu.resource.request() as request:
+            yield WaitFor(request)
             compute_us = self.gpu.graph_time_us(model.ops, dtype)
             span = None
             if self.kernel.sim.trace is not None:
@@ -60,8 +62,6 @@ class GpuDelegate:
             if span is not None:
                 self.kernel.sim.trace.end(span)
             self.kernel.soc.energy.add_gpu_busy(compute_us)
-        finally:
-            request.release()
         yield Work(
             memory.dram_copy_us(model.output_bytes), label="gpu:readback"
         )

@@ -330,9 +330,11 @@ class NnapiSession(InferenceSession):
         elif partition.device == "gpu":
             in_bytes, out_bytes = self._boundary_bytes(partition)
             yield Work(soc.memory.dram_copy_us(in_bytes), label="nnapi:upload")
-            request = soc.gpu.resource.request()
-            yield WaitFor(request)
-            try:
+            # with-block instead of try/finally: the old finally began
+            # only after the queue wait, so an interrupt at the WaitFor
+            # leaked the GPU grant.
+            with soc.gpu.resource.request() as request:
+                yield WaitFor(request)
                 compute = soc.gpu.graph_time_us(
                     partition.ops, self.model.dtype
                 )
@@ -343,8 +345,6 @@ class NnapiSession(InferenceSession):
                 if span is not None:
                     kernel.sim.trace.end(span)
                 soc.energy.add_gpu_busy(compute)
-            finally:
-                request.release()
             yield Work(
                 soc.memory.dram_copy_us(out_bytes), label="nnapi:readback"
             )

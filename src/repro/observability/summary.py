@@ -21,6 +21,7 @@ basis.
 from dataclasses import dataclass
 
 from repro.observability.chrome_trace import track_sort_key
+from repro.sim import units
 
 
 @dataclass
@@ -103,10 +104,10 @@ class TraceSummary:
         for track in self.tracks:
             busy = self.track_busy_us[track]
             lines.append(
-                f"[{track}] busy {busy / 1000.0:.2f} ms "
+                f"[{track}] busy {units.to_ms(busy):.2f} ms "
                 f"({busy / self.total_us:.1%} of trace)"
                 if self.total_us > 0
-                else f"[{track}] busy {busy / 1000.0:.2f} ms"
+                else f"[{track}] busy {units.to_ms(busy):.2f} ms"
             )
             header = (
                 f"  {'label':<{label_width}} | count | incl ms | "
@@ -121,8 +122,8 @@ class TraceSummary:
                 share = row.exclusive_us / busy if busy > 0 else 0.0
                 lines.append(
                     f"  {row.label:<{label_width}} | {row.count:>5} | "
-                    f"{row.inclusive_us / 1000.0:>7.2f} | "
-                    f"{row.exclusive_us / 1000.0:>7.2f} | {share:>9.1%}"
+                    f"{units.to_ms(row.inclusive_us):>7.2f} | "
+                    f"{units.to_ms(row.exclusive_us):>7.2f} | {share:>9.1%}"
                 )
             lines.append("")
         return "\n".join(lines).rstrip()

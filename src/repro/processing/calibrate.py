@@ -27,6 +27,7 @@ from repro.processing.image import (
     rotate90,
     yuv_nv21_to_argb,
 )
+from repro.sim import units
 
 
 def _time_kernel(func, *args, repeats=5):
@@ -62,7 +63,7 @@ def measure_host_kernels(height=480, width=640, out_side=224, seed=0):
     rows = []
     for name, elements, thunk in cases:
         elapsed_us = _time_kernel(thunk)
-        rows.append((name, elements, elapsed_us, elapsed_us * 1e3 / elements))
+        rows.append((name, elements, elapsed_us, units.to_ns(elapsed_us) / elements))
     return rows
 
 

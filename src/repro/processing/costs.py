@@ -15,6 +15,8 @@ is significantly faster than random *integers*; against libstdc++ the
 behaviour inverts.
 """
 
+from repro.sim import units
+
 IMPL_NATIVE = "native"
 IMPL_JAVA = "java"
 
@@ -36,7 +38,7 @@ _CALL_OVERHEAD_US = {IMPL_NATIVE: 2.0, IMPL_JAVA: 40.0}
 def _per_elem(task, elements, impl):
     native_ns, java_ns = _NS_PER_ELEM[task]
     ns = native_ns if impl == IMPL_NATIVE else java_ns
-    return _CALL_OVERHEAD_US[impl] + elements * ns / 1_000.0
+    return _CALL_OVERHEAD_US[impl] + units.ns(elements * ns)
 
 
 def bitmap_convert_cost_us(width, height, impl=IMPL_JAVA):
@@ -99,7 +101,7 @@ def nms_cost_us(anchors, detections=10):
 def tokenize_cost_us(text_chars, impl=IMPL_JAVA):
     """WordPiece tokenization: dictionary probes per character."""
     per_char_ns = 120.0 if impl == IMPL_JAVA else 45.0
-    return _CALL_OVERHEAD_US[impl] + text_chars * per_char_ns / 1_000.0
+    return _CALL_OVERHEAD_US[impl] + units.ns(text_chars * per_char_ns)
 
 
 def random_input_cost_us(elements, dtype, stdlib="libc++"):
@@ -119,4 +121,4 @@ def random_input_cost_us(elements, dtype, stdlib="libc++"):
     except KeyError:
         raise ValueError(f"unknown stdlib {stdlib!r}") from None
     ns = int_ns if dtype in ("int8", "uint8", "int32") else real_ns
-    return 1.0 + elements * ns / 1_000.0
+    return 1.0 + units.ns(elements * ns)

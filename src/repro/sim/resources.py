@@ -12,15 +12,36 @@ from repro.sim.events import Event
 
 
 class _RequestEvent(Event):
-    """Event handed to a requester; succeeds when the resource is granted."""
+    """Event handed to a requester; succeeds when the resource is granted.
+
+    A request is also a context manager: ``with resource.request() as
+    req: yield WaitFor(req); ...`` releases the slot on *every* exit
+    path — including :class:`~repro.sim.events.Interrupted` thrown into
+    the process at a yield inside the block, the path a bare
+    ``try/finally`` placed after the wait misses. ``release()`` is
+    idempotent through the ``released`` flag, so an early explicit
+    release (e.g. withdrawing a timed-out queue entry) composes with
+    the with-block exit.
+    """
 
     def __init__(self, sim, resource, name):
         super().__init__(sim, name=name)
         self.resource = resource
         self.granted = False
+        self.released = False
 
     def release(self):
+        if self.released:
+            return
+        self.released = True
         self.resource.release(self)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.release()
+        return False
 
 
 class Resource:
@@ -47,8 +68,15 @@ class Resource:
         """Return an event that succeeds when a slot is available.
 
         The caller must eventually call ``.release()`` on the returned
-        request object (typical pattern: ``req = res.request(); yield req;
-        ...; req.release()``).
+        request. The robust pattern is the with-block — it releases on
+        every exit path, including an interrupt delivered at a yield::
+
+            with resource.request() as req:
+                yield WaitFor(req)
+                ...  # hold the slot
+
+        (semcheck's ``resource-leak`` rule flags manual pairings whose
+        release is reachable on only some paths.)
         """
         request = _RequestEvent(
             self.sim, self, name=f"{self.name}:request"

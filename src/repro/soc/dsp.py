@@ -12,6 +12,7 @@ time, so concurrent clients queue — the mechanism behind the linear
 latency growth in the paper's Fig. 9.
 """
 
+from repro.sim import units
 from repro.sim.resources import Resource
 from repro.soc import params
 
@@ -48,10 +49,12 @@ class Dsp:
     def op_time_us(self, op, dtype):
         if dtype == "int8":
             rate_gops = _RATE_BY_KIND[op.compute_class] * self.scale
-            compute_us = op.flops / (rate_gops * 1e3)
+            compute_us = op.flops / units.per_us_rate(rate_gops)
         else:
             # Scalar floating point crawl; frameworks should never pick this.
-            compute_us = op.flops / (params.DSP_SCALAR_FP_GFLOPS * 1e3)
+            compute_us = op.flops / units.per_us_rate(
+                params.DSP_SCALAR_FP_GFLOPS
+            )
         return compute_us + params.DSP_OP_DISPATCH_US
 
     def graph_time_us(self, ops, dtype):

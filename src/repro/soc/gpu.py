@@ -7,6 +7,7 @@ contexts time-slice in reality, but ML delegates serialize command
 buffers, which is the behaviour relevant to the paper.
 """
 
+from repro.sim import units
 from repro.sim.resources import Resource
 from repro.soc import params
 
@@ -39,8 +40,7 @@ class Gpu:
             rate_gflops *= params.GPU_FP16_SPEEDUP
         elif dtype == "int8":
             rate_gflops *= params.GPU_INT8_SPEEDUP
-        # flops / (rate * 1e9) seconds == flops / (rate * 1e3) microseconds.
-        compute_us = op.flops / (rate_gflops * 1e3)
+        compute_us = op.flops / units.per_us_rate(rate_gflops)
         return compute_us + params.GPU_OP_DISPATCH_US
 
     def graph_time_us(self, ops, dtype):

@@ -7,6 +7,7 @@ fabric. Both scale with buffer size. AXI traffic is also counted so the
 Fig. 6 profile can show the traffic spike during Hexagon execution.
 """
 
+from repro.sim import units
 from repro.soc import params
 
 
@@ -25,7 +26,7 @@ class MemorySystem:
     # one GB/s == 1e9 bytes / 1e6 us == 1e3 bytes/us
     @staticmethod
     def _time_us(nbytes, gbps):
-        return nbytes / (gbps * 1e3)
+        return nbytes / units.per_us_rate(gbps)
 
     def dram_copy_us(self, nbytes):
         """Time for a CPU-side bulk copy of ``nbytes``."""

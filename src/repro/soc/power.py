@@ -14,6 +14,8 @@ is much coarser. Numbers are representative of 2018-era 10 nm parts.
 
 from dataclasses import dataclass, field
 
+from repro.sim import units
+
 #: Dynamic power of one fully-busy core at the top OPP (watts).
 BIG_CORE_BUSY_W = 1.9
 LITTLE_CORE_BUSY_W = 0.35
@@ -45,7 +47,7 @@ class EnergyMeter:
     def total_uj(self):
         return self.cpu_uj + self.gpu_uj + self.dsp_uj + self.dram_uj
 
-    # Watts * microseconds == microjoules, so the arithmetic is direct.
+    # Watts * microseconds == microjoules (units.uj_from_w_us).
 
     def add_cpu_slice(self, core, duration_us, label=None):
         """Energy for one scheduler slice on ``core`` at its current OPP."""
@@ -55,19 +57,19 @@ class EnergyMeter:
         else:
             busy_w = BIG_CORE_BUSY_W
         power_w = busy_w * fraction ** 3
-        energy = power_w * duration_us
+        energy = units.uj_from_w_us(power_w, duration_us)
         self.cpu_uj += energy
         if label is not None:
             self.by_label[label] = self.by_label.get(label, 0.0) + energy
         return energy
 
     def add_gpu_busy(self, duration_us):
-        energy = GPU_BUSY_W * duration_us
+        energy = units.uj_from_w_us(GPU_BUSY_W, duration_us)
         self.gpu_uj += energy
         return energy
 
     def add_dsp_busy(self, duration_us):
-        energy = DSP_BUSY_W * duration_us
+        energy = units.uj_from_w_us(DSP_BUSY_W, duration_us)
         self.dsp_uj += energy
         return energy
 
@@ -94,4 +96,4 @@ class EnergyMeter:
 
 def idle_floor_uj(core_count, duration_us):
     """Baseline leakage for ``core_count`` online cores over a window."""
-    return CORE_IDLE_W * core_count * duration_us
+    return units.uj_from_w_us(CORE_IDLE_W * core_count, duration_us)

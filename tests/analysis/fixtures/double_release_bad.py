@@ -1,0 +1,8 @@
+"""The with-block already released; the explicit release is a second."""
+
+
+def worker(resource, compute):
+    with resource.request() as request:
+        yield request
+        yield compute
+    request.release()

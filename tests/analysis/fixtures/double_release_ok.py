@@ -1,0 +1,10 @@
+"""Exactly one release, on every path, via try/finally."""
+
+
+def worker(resource, compute):
+    request = resource.request()
+    try:
+        yield request
+        yield compute
+    finally:
+        request.release()

@@ -1,0 +1,5 @@
+"""A bare power-of-1000 literal hiding a unit conversion."""
+
+
+def report(total_us):
+    return total_us / 1000.0

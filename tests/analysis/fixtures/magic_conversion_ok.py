@@ -1,0 +1,7 @@
+"""The conversion is spelled with its direction."""
+
+from repro.sim import units
+
+
+def report_ms(total_us):
+    return units.to_ms(total_us)

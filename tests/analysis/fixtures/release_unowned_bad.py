@@ -1,0 +1,9 @@
+"""Releasing a handle that only some paths requested."""
+
+
+def worker(resource, compute, want):
+    request = None
+    if want:
+        request = resource.request()
+    request.release()
+    yield compute

@@ -1,0 +1,8 @@
+"""The release lives inside the branch that requested."""
+
+
+def worker(resource, compute, want):
+    if want:
+        with resource.request() as request:
+            yield request
+    yield compute

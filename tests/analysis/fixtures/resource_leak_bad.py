@@ -1,0 +1,8 @@
+"""A grant held across a yield with no finally/with protection."""
+
+
+def worker(resource, compute):
+    request = resource.request()
+    yield request
+    yield compute
+    request.release()

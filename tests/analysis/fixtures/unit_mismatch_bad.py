@@ -1,0 +1,5 @@
+"""Cross-unit arithmetic: microseconds plus milliseconds."""
+
+
+def total_latency(compute_us, display_ms):
+    return compute_us + display_ms

@@ -1,0 +1,7 @@
+"""The millisecond term is converted before mixing."""
+
+from repro.sim import units
+
+
+def total_latency_us(compute_us, display_ms):
+    return compute_us + units.ms(display_ms)

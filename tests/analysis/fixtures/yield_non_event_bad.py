@@ -1,0 +1,6 @@
+"""A process yielding a plain number instead of an Event."""
+
+
+def worker(sim, duration_us):
+    yield sim.timeout(duration_us)
+    yield duration_us * 2

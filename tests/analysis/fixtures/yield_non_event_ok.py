@@ -1,0 +1,6 @@
+"""Every yield hands the engine an Event."""
+
+
+def worker(sim, duration_us):
+    yield sim.timeout(duration_us)
+    yield sim.timeout(duration_us * 2)

@@ -1,0 +1,8 @@
+"""An unbounded loop that never yields: zero-time livelock."""
+
+
+def poller(sim, queue):
+    yield sim.timeout(1.0)
+    while True:
+        if queue:
+            queue.pop()

@@ -1,0 +1,8 @@
+"""The loop yields every iteration, so simulated time advances."""
+
+
+def poller(sim, queue):
+    while True:
+        if queue:
+            queue.pop()
+        yield sim.timeout(1.0)
