@@ -2,29 +2,46 @@
 
 The paper's critique targets industry benchmarks (MLPerf, AI Benchmark)
 that "overemphasize ML inference performance". This loadgen implements
-the two mobile-relevant MLPerf scenarios so the gap can be quantified
+the four MLPerf scenarios (the mobile taxonomy of Janapa Reddi et al.,
+"MLPerf Mobile Inference Benchmark") so the gap can be quantified
 inside one framework:
 
 * **single-stream** — issue the next query as soon as the previous
   completes; report the 90th-percentile latency (the MLPerf metric).
+* **multi-stream** — issue a burst of ``streams`` samples per frame
+  interval (a multi-camera pipeline); report the per-query p90.
 * **offline** — issue all queries at once; report throughput.
+* **server** — open-loop Poisson arrivals the device cannot pace
+  (:mod:`repro.service.arrivals`); report goodput — queries per second
+  completing within the latency bound — alongside raw throughput.
 
-Both exercise *inference only* (random inputs, no capture, no app
+All four exercise *inference only* (random inputs, no capture, no app
 pipeline), exactly like the benchmarks the paper takes to task, so
 comparing their scores against an app's measured latency quantifies the
-"missing the forest for the trees" gap.
+"missing the forest for the trees" gap. The ``server`` scenario is the
+bridge to :mod:`repro.service`, which runs the same open-loop contract
+over a whole backend fleet.
 """
 
+import math
 from dataclasses import dataclass
 
-from repro.android.thread import Work
+from repro.android.thread import Sleep, Work
 from repro.apps.sessions import make_session
+from repro.core.measurement import percentile
 from repro.models import load_model
 from repro.processing.costs import random_input_cost_us
 from repro.sim import units
 
 SINGLE_STREAM = "single_stream"
+MULTI_STREAM = "multi_stream"
 OFFLINE = "offline"
+SERVER = "server"
+
+SCENARIOS = (SINGLE_STREAM, MULTI_STREAM, OFFLINE, SERVER)
+
+#: Multi-stream frame interval (MLPerf mobile uses 50 ms / 20 FPS).
+DEFAULT_FRAME_INTERVAL_MS = 50.0
 
 
 @dataclass(frozen=True)
@@ -41,6 +58,13 @@ class LoadgenResult:
     mean_latency_ms: float
     #: MLPerf offline metric: queries per second.
     throughput_qps: float
+    #: Server scenario: the latency bound queries must meet (ms);
+    #: ``None`` outside the server scenario or when unbounded.
+    slo_ms: float = None
+    #: Server scenario: queries per second that met the bound.
+    goodput_qps: float = 0.0
+    #: Server scenario: fraction of queries that missed the bound.
+    slo_miss_rate: float = 0.0
 
 
 class MlperfLoadgen:
@@ -57,50 +81,126 @@ class MlperfLoadgen:
             kernel, self.model, target=target, threads=threads
         )
         self.latencies_us = []
+        self._timed_wall_us = None
+
+    def _sample_work(self):
+        return Work(
+            random_input_cost_us(self.model.input_spec.numel, self.dtype),
+            label="loadgen:sample",
+        )
 
     def _single_stream_body(self, queries):
         yield from self.session.prepare()
         # MLPerf allows untimed warm-up.
         yield from self.session.invoke()
         for _ in range(queries):
-            yield Work(
-                random_input_cost_us(self.model.input_spec.numel, self.dtype),
-                label="loadgen:sample",
-            )
+            yield self._sample_work()
             duration = yield from self.session.invoke()
             self.latencies_us.append(duration)
+
+    def _multi_stream_body(self, queries, streams, interval_us):
+        yield from self.session.prepare()
+        yield from self.session.invoke()
+        epoch_us = self.kernel.now
+        for index in range(queries):
+            scheduled_us = epoch_us + index * interval_us
+            if self.kernel.now < scheduled_us:
+                yield Sleep(scheduled_us - self.kernel.now)
+            # Query latency counts from the frame tick, so a query that
+            # overruns its interval pushes the next one late — exactly
+            # the backlog MLPerf's multi-stream mode exists to surface.
+            for _ in range(streams):
+                yield self._sample_work()
+                yield from self.session.invoke()
+            self.latencies_us.append(self.kernel.now - scheduled_us)
 
     def _offline_body(self, queries):
         yield from self.session.prepare()
         yield from self.session.invoke()
-        start = self.kernel.now
+        start_us = self.kernel.now
         for _ in range(queries):
             duration = yield from self.session.invoke()
             self.latencies_us.append(duration)
-        self._offline_wall_us = self.kernel.now - start
+        self._timed_wall_us = self.kernel.now - start_us
 
-    def run(self, scenario=SINGLE_STREAM, queries=50):
-        """Execute the scenario; returns a :class:`LoadgenResult`."""
+    def _server_body(self, queries, arrival_times_us):
+        yield from self.session.prepare()
+        yield from self.session.invoke()
+        epoch_us = self.kernel.now
+        for arrival_us in arrival_times_us[:queries]:
+            issue_us = epoch_us + arrival_us
+            if self.kernel.now < issue_us:
+                yield Sleep(issue_us - self.kernel.now)
+            yield self._sample_work()
+            yield from self.session.invoke()
+            # Latency counts from the scheduled arrival: when the device
+            # is still busy with the previous query, the wait in line is
+            # part of this query's latency (open-loop contract).
+            self.latencies_us.append(self.kernel.now - issue_us)
+        self._timed_wall_us = self.kernel.now - epoch_us
+
+    def run(self, scenario=SINGLE_STREAM, queries=50, streams=4,
+            frame_interval_ms=DEFAULT_FRAME_INTERVAL_MS, target_qps=None,
+            slo_ms=None, seed=0):
+        """Execute the scenario; returns a :class:`LoadgenResult`.
+
+        ``streams``/``frame_interval_ms`` shape the multi-stream
+        scenario; ``target_qps`` (default 20), ``slo_ms``, and ``seed``
+        shape the server scenario's Poisson offered load and its
+        goodput bound (``slo_ms=None`` leaves the bound open, making
+        goodput equal throughput).
+        """
         if scenario == SINGLE_STREAM:
             body = self._single_stream_body(queries)
+        elif scenario == MULTI_STREAM:
+            body = self._multi_stream_body(
+                queries, streams, units.ms(frame_interval_ms)
+            )
         elif scenario == OFFLINE:
             body = self._offline_body(queries)
+        elif scenario == SERVER:
+            from repro.service.arrivals import PoissonArrivals
+
+            arrivals = PoissonArrivals(
+                rate_rps=target_qps if target_qps else 20.0, seed=seed
+            )
+            body = self._server_body(
+                queries, arrivals.times_us(count=queries)
+            )
         else:
-            raise ValueError(f"unknown scenario {scenario!r}")
+            raise ValueError(
+                f"unknown scenario {scenario!r}; known: {SCENARIOS}"
+            )
         thread = self.kernel.spawn_on_big(body, name=f"loadgen:{scenario}")
-        start = self.kernel.now
+        start_us = self.kernel.now
         self.kernel.sim.run(until=thread.done)
-        wall_us = self.kernel.now - start
-        ordered = sorted(self.latencies_us)
-        p90 = ordered[min(len(ordered) - 1, int(0.9 * len(ordered)))]
-        mean = sum(ordered) / len(ordered)
+        # Offline and server record their own timed window (prepare and
+        # the untimed warm-up must not inflate the denominator); the
+        # closed-loop scenarios are timed wall to wall.
+        wall_us = (
+            self._timed_wall_us
+            if self._timed_wall_us is not None
+            else self.kernel.now - start_us
+        )
+        count = len(self.latencies_us)
+        mean_us = sum(self.latencies_us) / count
+        slo_us = math.inf if slo_ms is None else units.ms(slo_ms)
+        met = sum(
+            1 for latency_us in self.latencies_us if latency_us <= slo_us
+        )
+        wall_s = units.to_seconds(wall_us) if wall_us else 0.0
         return LoadgenResult(
             scenario=scenario,
             model_key=self.model_key,
             dtype=self.dtype,
             target=self.target,
-            query_count=len(ordered),
-            p90_latency_ms=units.to_ms(p90),
-            mean_latency_ms=units.to_ms(mean),
-            throughput_qps=len(ordered) / (wall_us / 1e6) if wall_us else 0.0,
+            query_count=count,
+            p90_latency_ms=units.to_ms(percentile(self.latencies_us, 0.9)),
+            mean_latency_ms=units.to_ms(mean_us),
+            throughput_qps=count / wall_s if wall_s else 0.0,
+            slo_ms=slo_ms if scenario == SERVER else None,
+            goodput_qps=(met / wall_s if wall_s else 0.0)
+            if scenario == SERVER else 0.0,
+            slo_miss_rate=(count - met) / count
+            if scenario == SERVER else 0.0,
         )

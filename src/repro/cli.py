@@ -18,6 +18,10 @@ Commands
     Sweep deterministic FastRPC fault injection over the chaos
     population and print AI-tax inflation plus the recovery ledger
     (see docs/faults.md).
+``serve``
+    Run the inference service tier: open-loop traffic over a backend
+    pool calibrated from the device fleet, reporting goodput against
+    raw throughput plus SLO-miss attribution (see docs/service.md).
 ``trace``
     Record a named scenario with full instrumentation, print the
     self-time rollup, and export Chrome trace-event JSON for
@@ -190,6 +194,39 @@ def _cmd_chaos(args):
     return 0
 
 
+def _cmd_serve(args):
+    from repro.service import ServiceConfig, run_service
+
+    population = None
+    if args.fault_rate:
+        # Fault injection only bites a pool that contains the
+        # no-recovery vendor slice; the paper population has none.
+        from repro.fleet.population import chaos_population
+
+        population = chaos_population()
+    config = ServiceConfig(
+        rate_rps=args.rate,
+        duration_s=args.duration,
+        arrivals=args.arrivals,
+        slo_ms=args.slo,
+        queue_capacity=args.capacity,
+        policy=args.policy,
+        max_batch=args.batch,
+        max_delay_ms=args.delay,
+        devices=args.devices,
+        fault_rate=args.fault_rate,
+        seed=args.seed,
+    )
+    result = run_service(config, population=population)
+    print(result.render())
+    if args.export is not None:
+        result.write_json(args.export)
+        print(f"\nwrote {args.export} (sha256 {result.digest()[:16]}...)")
+    # A pool with zero completions means the service never answered
+    # anyone — under fault injection that is the collapse signal.
+    return 0 if result.completed else 1
+
+
 def _cmd_trace(args):
     from repro.observability import (
         record_trace,
@@ -337,7 +374,16 @@ def _cmd_sanitize(args):
     from repro.observability.scenarios import SCENARIOS, record_trace
 
     name = args.target
-    if name == "fleet":
+    if name == "serve":
+        from repro.service import run_service
+
+        def scenario():
+            run_service(
+                rate_rps=120.0, duration_s=0.5,
+                devices=args.sessions, seed=args.seed or 0,
+                calibration_runs=args.runs or 2,
+            )
+    elif name == "fleet":
         from repro.fleet import run_fleet
 
         def scenario():
@@ -352,7 +398,9 @@ def _cmd_sanitize(args):
         def scenario():
             run_experiment(name)
     else:
-        known = sorted(set(SCENARIOS) | set(REGISTRY) | {"fleet"})
+        known = sorted(
+            set(SCENARIOS) | set(REGISTRY) | {"fleet", "serve"}
+        )
         print(f"unknown sanitize target {name!r}; known: {known}")
         return 2
 
@@ -509,6 +557,62 @@ def build_parser():
              "baseline is always included)",
     )
 
+    from repro.service import ARRIVAL_KINDS, POLICIES
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the inference service tier over a fleet-calibrated "
+             "backend pool (docs/service.md)",
+    )
+    serve_parser.add_argument(
+        "--rate", type=float, default=200.0,
+        help="mean offered load, requests per second",
+    )
+    serve_parser.add_argument(
+        "--duration", type=float, default=1.0,
+        help="simulated traffic window, seconds",
+    )
+    serve_parser.add_argument(
+        "--arrivals", default="poisson", choices=ARRIVAL_KINDS,
+        help="arrival process shape",
+    )
+    serve_parser.add_argument(
+        "--slo", type=float, default=50.0, metavar="MS",
+        help="per-request latency budget in ms (goodput bound)",
+    )
+    serve_parser.add_argument(
+        "--capacity", type=int, default=64,
+        help="admission bound on outstanding requests",
+    )
+    serve_parser.add_argument(
+        "--policy", default="reject", choices=POLICIES,
+        help="what to do with over-capacity arrivals",
+    )
+    serve_parser.add_argument(
+        "--batch", type=int, default=4,
+        help="dynamic batcher: flush at this many requests",
+    )
+    serve_parser.add_argument(
+        "--delay", type=float, default=5.0, metavar="MS",
+        help="dynamic batcher: flush once the oldest waited this long",
+    )
+    serve_parser.add_argument(
+        "--devices", type=int, default=4,
+        help="population devices calibrated into the backend pool",
+    )
+    serve_parser.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="RATE",
+        help="per-call fault probability during calibration; nonzero "
+             "switches to the chaos population so the no-recovery "
+             "vendor slice is in the pool (docs/faults.md)",
+    )
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="write the canonical ServiceResult JSON (byte-identical "
+             "for same config+seed)",
+    )
+
     from repro.observability.scenarios import SCENARIOS
 
     trace_parser = sub.add_parser(
@@ -569,7 +673,7 @@ def build_parser():
     sanitize_parser.add_argument(
         "target",
         help="a trace scenario (e.g. quickstart, chaos), an experiment "
-             "id (e.g. fig7), or 'fleet'",
+             "id (e.g. fig7), 'fleet', or 'serve'",
     )
     sanitize_parser.add_argument(
         "--runs", type=int, default=None,
@@ -594,6 +698,7 @@ _HANDLERS = {
     "experiment": _cmd_experiment,
     "fleet": _cmd_fleet,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
     "lint": _cmd_lint,
     "semcheck": _cmd_semcheck,

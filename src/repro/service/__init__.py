@@ -1,0 +1,64 @@
+"""An inference service tier over the simulated device fleet.
+
+The paper measures per-device AI tax; this package builds the layer a
+"millions of users" deployment puts above those devices: a simulated
+cloud/edge inference service whose backends are
+:mod:`repro.fleet` population members. Open-loop Poisson/diurnal
+traffic (:mod:`~repro.service.arrivals`) flows through bounded
+admission (:mod:`~repro.service.admission`), deterministic
+join-shortest-queue routing and per-backend dynamic batching
+(:mod:`~repro.service.router`, :mod:`~repro.service.batcher`) over a
+pool calibrated by full device simulation
+(:mod:`~repro.service.backends`), and aggregates into a
+:class:`~repro.service.simulate.ServiceResult` whose headline metric is
+**goodput** — requests per second that met their SLO — against raw
+throughput.
+
+Entry points: ``python -m repro serve``, the ``service_goodput`` /
+``service_chaos`` experiments, and :func:`run_service`.
+"""
+
+from repro.service.admission import (
+    POLICIES,
+    POLICY_DROP,
+    POLICY_REJECT,
+    POLICY_SHED,
+    AdmissionQueue,
+)
+from repro.service.arrivals import (
+    ARRIVAL_KINDS,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+from repro.service.backends import (
+    BackendProfile,
+    build_pool,
+    pool_capacity_rps,
+)
+from repro.service.batcher import DynamicBatcher
+from repro.service.request import Request
+from repro.service.router import Backend, Router
+from repro.service.simulate import ServiceConfig, ServiceResult, run_service
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "POLICIES",
+    "POLICY_DROP",
+    "POLICY_REJECT",
+    "POLICY_SHED",
+    "AdmissionQueue",
+    "Backend",
+    "BackendProfile",
+    "DiurnalArrivals",
+    "DynamicBatcher",
+    "PoissonArrivals",
+    "Request",
+    "Router",
+    "ServiceConfig",
+    "ServiceResult",
+    "build_pool",
+    "make_arrivals",
+    "pool_capacity_rps",
+    "run_service",
+]

@@ -1,0 +1,105 @@
+"""Bounded admission: the decision made before any work is queued.
+
+An inference service protects itself at the front door. When the number
+of admitted-but-unfinished requests reaches the configured bound, the
+admission queue applies one of three policies:
+
+``drop``
+    Discard silently (UDP-style telemetry ingestion). Cheapest; the
+    client discovers nothing.
+``reject``
+    Fail fast with an error response (the online-API default). Same
+    capacity math as drop, but the client can back off or retry
+    elsewhere — and the rejection is visible in the result.
+``shed``
+    Admit anyway, but serve with the backend's *degraded* model variant
+    (a distilled/smaller model kept warm for exactly this moment), so
+    the user gets a worse answer instead of no answer. Sheds do not
+    count against the bound they exceeded — they are the pressure
+    valve, not a new queue.
+"""
+
+from dataclasses import dataclass
+
+from repro.service.request import (
+    OUTCOME_DROPPED,
+    OUTCOME_PENDING,
+    OUTCOME_REJECTED,
+)
+
+POLICY_DROP = "drop"
+POLICY_REJECT = "reject"
+POLICY_SHED = "shed"
+
+POLICIES = (POLICY_DROP, POLICY_REJECT, POLICY_SHED)
+
+#: Admission decisions handed back to the driver.
+ADMIT = "admit"
+#: Admitted, but flagged for the degraded model variant.
+ADMIT_DEGRADED = "admit_degraded"
+TURN_AWAY = "turn_away"
+
+
+@dataclass
+class AdmissionQueue:
+    """Bounded admission control over the service's outstanding work.
+
+    ``capacity`` bounds the requests admitted but not yet completed
+    (queued anywhere in the service plus in flight on a backend).
+    ``admit`` is called at each arrival with the current outstanding
+    count and decides the request's fate per the policy, updating the
+    tally counters the :class:`~repro.service.simulate.ServiceResult`
+    reports.
+    """
+
+    capacity: int
+    policy: str = POLICY_REJECT
+    admitted: int = 0
+    dropped: int = 0
+    rejected: int = 0
+    shed: int = 0
+
+    def __post_init__(self):
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown admission policy {self.policy!r}; "
+                f"known: {POLICIES}"
+            )
+
+    def admit(self, request, outstanding):
+        """Decide a request's fate; returns an admission decision.
+
+        Mutates ``request.outcome`` (and ``degraded``) for turned-away
+        and shed requests so the request record is self-describing.
+        """
+        if request.outcome != OUTCOME_PENDING:
+            raise ValueError(
+                f"request {request.request_id} already decided: "
+                f"{request.outcome!r}"
+            )
+        if outstanding < self.capacity:
+            self.admitted += 1
+            return ADMIT
+        if self.policy == POLICY_DROP:
+            self.dropped += 1
+            request.outcome = OUTCOME_DROPPED
+            return TURN_AWAY
+        if self.policy == POLICY_REJECT:
+            self.rejected += 1
+            request.outcome = OUTCOME_REJECTED
+            return TURN_AWAY
+        self.shed += 1
+        self.admitted += 1
+        request.degraded = True
+        return ADMIT_DEGRADED
+
+    def counters(self):
+        """Tally snapshot for result export."""
+        return {
+            "admitted": self.admitted,
+            "dropped": self.dropped,
+            "rejected": self.rejected,
+            "shed": self.shed,
+        }

@@ -1,0 +1,156 @@
+"""Routing and backend execution on the discrete-event engine.
+
+A :class:`Backend` pairs one calibrated
+:class:`~repro.service.backends.BackendProfile` with a
+:class:`~repro.service.batcher.DynamicBatcher` and a simulator process
+that forms and serves batches. The :class:`Router` spreads admitted
+requests across the pool with deterministic join-shortest-queue
+(ties break toward the lowest backend id, so identical runs route
+identically).
+
+Queue depth and in-flight counts are exported as observability counter
+spans (``service:depth``, ``service:backend<N>:depth``) whenever the
+service simulator records a trace, so backpressure dynamics are
+visible in the same Perfetto timeline as everything else.
+"""
+
+from repro.observability.probes import counter
+from repro.service.request import OUTCOME_OK
+
+
+class Backend:
+    """One pool member: a batcher plus a serving process."""
+
+    def __init__(self, sim, profile, batcher, on_complete):
+        self.sim = sim
+        self.profile = profile
+        self.batcher = batcher
+        self._on_complete = on_complete
+        #: Requests being served in the current batch.
+        self.inflight = 0
+        self.served_batches = 0
+        self.served_requests = 0
+        #: Total simulated time this backend spent serving.
+        self.busy_us = 0.0
+        self._wakeup = None
+        sim.process(
+            self._loop(), name=f"service:backend{profile.backend_id}"
+        )
+
+    @property
+    def depth(self):
+        """Outstanding requests here: batching queue plus in flight."""
+        return len(self.batcher) + self.inflight
+
+    def enqueue(self, request):
+        """Accept a routed request into the batching queue."""
+        request.backend_id = self.profile.backend_id
+        self.batcher.push(request, self.sim.now)
+        counter(
+            self.sim, f"service:backend{self.profile.backend_id}:depth",
+            self.depth,
+        )
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _wait(self, *events):
+        self._wakeup = self.sim.event(
+            name=f"service:backend{self.profile.backend_id}:wakeup"
+        )
+        if events:
+            return self.sim.any_of([*events, self._wakeup])
+        return self._wakeup
+
+    def _loop(self):
+        """Form and serve batches forever (parks when the queue drains).
+
+        The process never returns: after the last arrival it blocks on a
+        wakeup that never fires, and the simulation ends when the
+        schedule drains around it.
+        """
+        while True:
+            while not self.batcher.pending:
+                yield self._wait()
+                self._wakeup = None
+            while not self.batcher.ready(self.sim.now):
+                remaining_us = self.batcher.deadline_us() - self.sim.now
+                yield self._wait(self.sim.timeout(remaining_us))
+                self._wakeup = None
+            batch = self.batcher.take()
+            yield from self._serve(batch)
+
+    def _serve(self, batch):
+        flags = tuple(request.degraded for request in batch)
+        inference_total_us = self.profile.batch_inference_us(flags)
+        service_us = inference_total_us + self.profile.batch_tax_us(flags)
+        start_us = self.sim.now
+        self.inflight = len(batch)
+        yield self.sim.timeout(
+            service_us, name=f"service:batch[{len(batch)}]"
+        )
+        done_us = self.sim.now
+        inference_share_us = inference_total_us / len(batch)
+        for request in batch:
+            request.batch_size = len(batch)
+            request.start_us = start_us
+            request.done_us = done_us
+            request.inference_us = inference_share_us
+            request.tax_us = (
+                self.profile.tax_us
+                * self.profile._item_scale(request.degraded)
+            )
+            # Everything that is not this request's own work — admission
+            # wait, batch formation, and batch mates' shares — is
+            # queueing/batching delay by definition, so the three
+            # components sum exactly to the observed latency.
+            request.queue_us = max(
+                0.0,
+                (done_us - request.arrival_us)
+                - request.inference_us - request.tax_us,
+            )
+            request.outcome = OUTCOME_OK
+        self.inflight = 0
+        self.busy_us += service_us
+        self.served_batches += 1
+        self.served_requests += len(batch)
+        counter(
+            self.sim, f"service:backend{self.profile.backend_id}:depth",
+            self.depth,
+        )
+        for request in batch:
+            self._on_complete(request)
+
+    def to_dict(self):
+        from repro.sim import units
+
+        return {
+            "profile": self.profile.to_dict(),
+            "served_requests": self.served_requests,
+            "served_batches": self.served_batches,
+            "busy_ms": units.to_ms(self.busy_us),
+        }
+
+
+class Router:
+    """Deterministic join-shortest-queue dispatch over the pool."""
+
+    def __init__(self, sim, backends):
+        if not backends:
+            raise ValueError("router needs at least one backend")
+        self.sim = sim
+        self.backends = list(backends)
+
+    @property
+    def outstanding(self):
+        """Admitted-but-unfinished requests across the pool."""
+        return sum(backend.depth for backend in self.backends)
+
+    def dispatch(self, request):
+        """Route to the least-loaded backend; returns it."""
+        target = self.backends[0]
+        for backend in self.backends[1:]:
+            if backend.depth < target.depth:
+                target = backend
+        target.enqueue(request)
+        counter(self.sim, "service:depth", self.outstanding)
+        return target

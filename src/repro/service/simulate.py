@@ -1,0 +1,349 @@
+"""The service run loop: offered load in, :class:`ServiceResult` out.
+
+:func:`run_service` wires the subsystem together on one discrete-event
+simulator: a deterministic open-loop arrival process drives requests
+through bounded admission, join-shortest-queue routing, and per-backend
+dynamic batching over a pool calibrated from the device fleet. The
+result separates the two numbers the whole tier exists to distinguish:
+
+* **throughput** — completed requests per second, and
+* **goodput** — completed requests per second *that met their SLO*,
+
+plus per-percentile latency, SLO-miss attribution (queueing vs
+inference vs AI tax), the admission ledger, and the queue-depth time
+series. Same config and seed — byte-identical export, always; the
+determinism sanitizer (``python -m repro sanitize serve``) holds the
+run loop to that.
+"""
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass, field
+
+from repro.core import percentile
+from repro.service.admission import (
+    POLICY_REJECT,
+    TURN_AWAY,
+    AdmissionQueue,
+    POLICIES,
+)
+from repro.service.arrivals import ARRIVAL_KINDS, POISSON, make_arrivals
+from repro.service.backends import build_pool
+from repro.service.batcher import DynamicBatcher
+from repro.service.request import MISS_BUCKETS, Request
+from repro.service.router import Backend, Router
+from repro.sim import Simulator, units
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything that determines one service run."""
+
+    #: Mean offered load, requests per second.
+    rate_rps: float = 200.0
+    #: Simulated traffic window, seconds.
+    duration_s: float = 1.0
+    #: Arrival process: ``poisson`` or ``diurnal``.
+    arrivals: str = POISSON
+    diurnal_amplitude: float = 0.6
+    diurnal_period_s: float = 0.5
+    #: Per-request latency budget; ``None`` disables the SLO.
+    slo_ms: float = 50.0
+    #: Bound on admitted-but-unfinished requests.
+    queue_capacity: int = 64
+    #: Over-capacity policy: ``drop`` / ``reject`` / ``shed``.
+    policy: str = POLICY_REJECT
+    #: Dynamic batcher: flush at this many requests ...
+    max_batch: int = 4
+    #: ... or once the oldest has waited this long.
+    max_delay_ms: float = 5.0
+    #: Devices expanded from the population into the backend pool.
+    devices: int = 4
+    #: Per-session iterations when calibrating backend profiles.
+    calibration_runs: int = 3
+    #: Per-call fault probability during calibration (chaos variant).
+    fault_rate: float = 0.0
+    seed: int = 0
+    trace: bool = False
+
+    def __post_init__(self):
+        if self.rate_rps <= 0:
+            raise ValueError(f"rate_rps must be > 0, got {self.rate_rps}")
+        if self.duration_s <= 0:
+            raise ValueError(
+                f"duration_s must be > 0, got {self.duration_s}"
+            )
+        if self.arrivals not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrivals {self.arrivals!r}; "
+                f"known: {ARRIVAL_KINDS}"
+            )
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; known: {POLICIES}"
+            )
+        if self.slo_ms is not None and self.slo_ms <= 0:
+            raise ValueError(f"slo_ms must be > 0, got {self.slo_ms}")
+        if self.devices < 1:
+            raise ValueError(f"devices must be >= 1, got {self.devices}")
+
+    @property
+    def slo_us(self):
+        """The latency budget in simulator microseconds (inf = none)."""
+        return math.inf if self.slo_ms is None else units.ms(self.slo_ms)
+
+    def to_dict(self):
+        return asdict(self)
+
+
+@dataclass
+class ServiceResult:
+    """Aggregated outcome of one service run (JSON-able, sortable)."""
+
+    config: dict
+    backends: list
+    #: Calibration sessions that died (chaos shrinks the pool).
+    pool_failures: list
+    offered: int
+    completed: int
+    met_slo: int
+    dropped: int
+    rejected: int
+    shed: int
+    elapsed_ms: float
+    throughput_rps: float
+    goodput_rps: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    #: SLO-missed completions by dominant component
+    #: (queueing / inference / ai_tax).
+    miss_attribution: dict
+    #: ``[time_ms, outstanding]`` samples at every admission/completion.
+    depth_series: list = field(default_factory=list)
+
+    @property
+    def turned_away(self):
+        return self.dropped + self.rejected
+
+    @property
+    def slo_miss_rate(self):
+        """Fraction of *offered* load that got no timely good answer."""
+        if not self.offered:
+            return 0.0
+        return 1.0 - self.met_slo / self.offered
+
+    def to_dict(self):
+        return {
+            "config": self.config,
+            "backends": self.backends,
+            "pool_failures": self.pool_failures,
+            "offered": self.offered,
+            "completed": self.completed,
+            "met_slo": self.met_slo,
+            "dropped": self.dropped,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "elapsed_ms": self.elapsed_ms,
+            "throughput_rps": self.throughput_rps,
+            "goodput_rps": self.goodput_rps,
+            "p50_ms": self.p50_ms,
+            "p90_ms": self.p90_ms,
+            "p99_ms": self.p99_ms,
+            "miss_attribution": self.miss_attribution,
+            "slo_miss_rate": self.slo_miss_rate,
+            "depth_series": self.depth_series,
+        }
+
+    def to_json(self):
+        """Canonical JSON: sorted keys, fixed separators.
+
+        Two same-seed runs must produce byte-identical output — the
+        acceptance bar the CI ``service-smoke`` job compares with
+        ``cmp``.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def digest(self):
+        """sha256 of the canonical JSON export."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def write_json(self, path):
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    def render(self):
+        """Human-readable summary for the ``serve`` CLI."""
+        config = self.config
+        slo_ms = config.get("slo_ms")
+        lines = [
+            (
+                f"service: {len(self.backends)} backends "
+                f"({len(self.pool_failures)} calibration failures), "
+                f"{config['arrivals']} {config['rate_rps']:g} rps for "
+                f"{config['duration_s']:g} s (seed {config['seed']})"
+            ),
+            (
+                f"admission: capacity {config['queue_capacity']}, "
+                f"policy {config['policy']}; batcher: max "
+                f"{config['max_batch']} / {config['max_delay_ms']:g} ms"
+            ),
+            (
+                f"offered {self.offered}  completed {self.completed}  "
+                f"rejected {self.rejected}  dropped {self.dropped}  "
+                f"shed {self.shed}"
+            ),
+            (
+                f"throughput {self.throughput_rps:.1f} rps   "
+                f"goodput {self.goodput_rps:.1f} rps"
+                + (
+                    f"   ({self.met_slo}/{self.completed} completions "
+                    f"met the {slo_ms:g} ms SLO)"
+                    if slo_ms is not None and self.completed
+                    else "   (no SLO: goodput == throughput)"
+                )
+            ),
+            (
+                f"latency: p50 {self.p50_ms:.2f} ms  "
+                f"p90 {self.p90_ms:.2f} ms  p99 {self.p99_ms:.2f} ms"
+            ),
+            (
+                "slo misses: "
+                + ", ".join(
+                    f"{bucket} {self.miss_attribution.get(bucket, 0)}"
+                    for bucket in MISS_BUCKETS
+                )
+                + f", turned away {self.turned_away}"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def run_service(config=None, population=None, profiles=None, **overrides):
+    """Run one service simulation; returns a :class:`ServiceResult`.
+
+    ``profiles`` short-circuits pool calibration (sweeps reuse one
+    calibrated pool across points); otherwise the pool is built from
+    ``population`` (default: the paper population) at the config's
+    ``fault_rate``. Keyword overrides build a config when none is
+    given.
+    """
+    if config is None:
+        config = ServiceConfig(**overrides)
+    elif overrides:
+        raise TypeError("pass either a config or overrides, not both")
+    if profiles is None:
+        profiles, pool_failures = build_pool(
+            population=population,
+            devices=config.devices,
+            seed=config.seed,
+            runs=config.calibration_runs,
+            fault_rate=config.fault_rate,
+        )
+    else:
+        pool_failures = []
+
+    sim = Simulator(seed=config.seed, trace=config.trace)
+    requests = []
+    completed = []
+    depth_series = []
+
+    def on_complete(request):
+        completed.append(request)
+        depth_series.append(
+            [units.to_ms(sim.now), router.outstanding]
+        )
+
+    backends = [
+        Backend(
+            sim,
+            profile,
+            DynamicBatcher(
+                max_batch=config.max_batch,
+                max_delay_us=units.ms(config.max_delay_ms),
+            ),
+            on_complete,
+        )
+        for profile in profiles
+    ]
+    router = Router(sim, backends)
+    admission = AdmissionQueue(
+        capacity=config.queue_capacity, policy=config.policy
+    )
+    arrivals = make_arrivals(
+        config.arrivals,
+        config.rate_rps,
+        seed=config.seed,
+        amplitude=config.diurnal_amplitude,
+        period_s=config.diurnal_period_s,
+    )
+    times_us = arrivals.times_us(
+        duration_us=units.seconds(config.duration_s)
+    )
+
+    def driver():
+        slo_us = config.slo_us
+        for index, arrival_us in enumerate(times_us):
+            if arrival_us > sim.now:
+                yield sim.timeout(
+                    arrival_us - sim.now, name="service:arrival"
+                )
+            request = Request(
+                request_id=index, arrival_us=sim.now, slo_us=slo_us
+            )
+            requests.append(request)
+            decision = admission.admit(request, router.outstanding)
+            if decision == TURN_AWAY:
+                continue
+            router.dispatch(request)
+            depth_series.append(
+                [units.to_ms(sim.now), router.outstanding]
+            )
+
+    sim.process(driver(), name="service:driver")
+    sim.run()
+    return _assemble(
+        config, backends, pool_failures, admission, requests, completed,
+        depth_series,
+    )
+
+
+def _assemble(config, backends, pool_failures, admission, requests,
+              completed, depth_series):
+    latencies_ms = [
+        units.to_ms(request.latency_us) for request in completed
+    ]
+    met = [request for request in completed if request.met_slo]
+    misses = {bucket: 0 for bucket in MISS_BUCKETS}
+    for request in completed:
+        if not request.met_slo:
+            misses[request.miss_attribution()] += 1
+    last_done_us = max(
+        (request.done_us for request in completed), default=0.0
+    )
+    elapsed_us = max(units.seconds(config.duration_s), last_done_us)
+    elapsed_s = units.to_seconds(elapsed_us)
+    counters = admission.counters()
+    return ServiceResult(
+        config=config.to_dict(),
+        backends=[backend.to_dict() for backend in backends],
+        pool_failures=pool_failures,
+        offered=len(requests),
+        completed=len(completed),
+        met_slo=len(met),
+        dropped=counters["dropped"],
+        rejected=counters["rejected"],
+        shed=counters["shed"],
+        elapsed_ms=units.to_ms(elapsed_us),
+        throughput_rps=len(completed) / elapsed_s,
+        goodput_rps=len(met) / elapsed_s,
+        p50_ms=percentile(latencies_ms, 0.50),
+        p90_ms=percentile(latencies_ms, 0.90),
+        p99_ms=percentile(latencies_ms, 0.99),
+        miss_attribution=misses,
+        depth_series=depth_series,
+    )

@@ -1,0 +1,80 @@
+"""Bounded admission-queue policies."""
+
+import pytest
+
+from repro.service.admission import (
+    ADMIT,
+    ADMIT_DEGRADED,
+    TURN_AWAY,
+    AdmissionQueue,
+)
+from repro.service.request import (
+    OUTCOME_DROPPED,
+    OUTCOME_PENDING,
+    OUTCOME_REJECTED,
+    Request,
+)
+
+
+def make_request(request_id=0):
+    return Request(request_id=request_id, arrival_us=0.0)
+
+
+def test_under_capacity_admits():
+    queue = AdmissionQueue(capacity=2, policy="reject")
+    request = make_request()
+    assert queue.admit(request, outstanding=1) == ADMIT
+    assert request.outcome == OUTCOME_PENDING
+    assert queue.counters() == {
+        "admitted": 1, "dropped": 0, "rejected": 0, "shed": 0,
+    }
+
+
+def test_full_queue_reject_marks_request():
+    queue = AdmissionQueue(capacity=2, policy="reject")
+    request = make_request()
+    assert queue.admit(request, outstanding=2) == TURN_AWAY
+    assert request.outcome == OUTCOME_REJECTED
+    assert queue.counters()["rejected"] == 1
+    assert queue.counters()["admitted"] == 0
+
+
+def test_full_queue_drop_marks_request():
+    queue = AdmissionQueue(capacity=2, policy="drop")
+    request = make_request()
+    assert queue.admit(request, outstanding=5) == TURN_AWAY
+    assert request.outcome == OUTCOME_DROPPED
+    assert queue.counters()["dropped"] == 1
+
+
+def test_full_queue_shed_admits_degraded():
+    queue = AdmissionQueue(capacity=1, policy="shed")
+    request = make_request()
+    assert queue.admit(request, outstanding=1) == ADMIT_DEGRADED
+    # Shed requests stay pending (they will be served) but degraded.
+    assert request.degraded is True
+    assert request.outcome == OUTCOME_PENDING
+    assert queue.counters() == {
+        "admitted": 1, "dropped": 0, "rejected": 0, "shed": 1,
+    }
+
+
+def test_boundary_exactly_at_capacity_turns_away():
+    queue = AdmissionQueue(capacity=3, policy="reject")
+    assert queue.admit(make_request(0), outstanding=2) == ADMIT
+    assert queue.admit(make_request(1), outstanding=3) == TURN_AWAY
+
+
+def test_double_decision_raises():
+    queue = AdmissionQueue(capacity=1, policy="reject")
+    request = make_request()
+    queue.admit(request, outstanding=9)
+    with pytest.raises(ValueError, match="already decided"):
+        queue.admit(request, outstanding=0)
+
+
+def test_invalid_configuration_raises():
+    with pytest.raises(ValueError):
+        AdmissionQueue(capacity=0)
+    with pytest.raises(ValueError, match="unknown admission policy"):
+        AdmissionQueue(capacity=1, policy="tailshed")

@@ -144,3 +144,25 @@ def test_chaos_command(capsys):
     assert "fault rate" in out
     assert "failed sessions: 1" in out
     assert "died without recovery" in out
+
+
+def test_serve_command_exports_identically(tmp_path, capsys):
+    argv = [
+        "serve", "--rate", "120", "--duration", "0.3", "--devices", "2",
+        "--seed", "0",
+    ]
+    path_a = tmp_path / "a.json"
+    path_b = tmp_path / "b.json"
+    assert main(argv + ["--export", str(path_a)]) == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "goodput" in out
+    assert "slo misses:" in out
+    assert main(argv + ["--export", str(path_b)]) == 0
+    # Same config and seed: the canonical export is byte-identical.
+    assert path_a.read_bytes() == path_b.read_bytes()
+
+
+def test_serve_rejects_bad_policy():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve", "--policy", "tailshed"])
