@@ -1,0 +1,107 @@
+"""Gate: engine throughput must stay within 20% of the snapshot.
+
+Compares a fresh measurement against the committed
+``results/BENCH_engine_throughput.json``. Two modes:
+
+* ``--fresh PATH`` — compare against an already-written snapshot (the
+  CI job runs the pytest benchmark first, then points this at its
+  output, so the fleet is only simulated once).
+* no ``--fresh`` — measure fleet throughput in-process right here.
+
+Either way the committed snapshot's schema is validated first: a
+malformed or hand-trimmed snapshot fails before any number is read.
+Exit status 1 on schema or regression failure.
+
+Absolute sessions/sec is host-dependent, so the gate is relative —
+fresh must reach at least ``1 - THRESHOLD`` of the snapshot measured
+on the *same* host/checkout pair. See docs/performance.md.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+SNAPSHOT_PATH = RESULTS_DIR / "BENCH_engine_throughput.json"
+
+#: Fractional drop in fleet sessions/sec that fails the gate.
+THRESHOLD = 0.20
+
+#: Top-level keys every BENCH_engine_throughput.json must carry.
+SCHEMA_KEYS = frozenset({
+    "baseline_sessions_per_sec",
+    "fleet",
+    "session_events",
+    "experiment_p50_wall_s",
+    "speedup_vs_baseline",
+})
+
+FLEET_KEYS = frozenset({
+    "sessions", "runs_per_session", "wall_s", "wall_s_all",
+    "sessions_per_sec",
+})
+
+
+def validate_schema(metrics, source):
+    missing = SCHEMA_KEYS - metrics.keys()
+    if missing:
+        raise SystemExit(
+            f"{source}: missing keys {sorted(missing)} "
+            f"(expected {sorted(SCHEMA_KEYS)})"
+        )
+    missing = FLEET_KEYS - metrics["fleet"].keys()
+    if missing:
+        raise SystemExit(f"{source}: fleet block missing {sorted(missing)}")
+    if metrics["fleet"]["sessions_per_sec"] <= 0:
+        raise SystemExit(f"{source}: non-positive sessions_per_sec")
+
+
+def load_metrics(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"{path}: {exc}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--snapshot", type=pathlib.Path, default=SNAPSHOT_PATH,
+        help="committed metrics snapshot (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--fresh", type=pathlib.Path, default=None,
+        help="freshly measured snapshot; omit to measure in-process",
+    )
+    args = parser.parse_args(argv)
+
+    snapshot = load_metrics(args.snapshot)
+    validate_schema(snapshot, str(args.snapshot))
+
+    if args.fresh is not None:
+        fresh_metrics = load_metrics(args.fresh)
+        validate_schema(fresh_metrics, str(args.fresh))
+        fresh = fresh_metrics["fleet"]
+    else:
+        from repro.analysis.engine_bench import measure_fleet_throughput
+
+        fresh = measure_fleet_throughput(
+            sessions=snapshot["fleet"]["sessions"],
+            runs=snapshot["fleet"]["runs_per_session"],
+        )
+
+    old = snapshot["fleet"]["sessions_per_sec"]
+    new = fresh["sessions_per_sec"]
+    floor = (1.0 - THRESHOLD) * old
+    verdict = "ok" if new >= floor else "REGRESSION"
+    print(
+        f"engine-bench: snapshot {old:.1f} sessions/s, "
+        f"fresh {new:.1f} sessions/s, floor {floor:.1f} -> {verdict}"
+    )
+    return 0 if new >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Bench: engine hot-path throughput, guarded by byte-identical replay.
+
+Two jobs in one file:
+
+1. **The guard.** Before any number is trusted, every figure-experiment
+   fingerprint and the dual-run fleet replay digest must equal the
+   goldens in ``results/ENGINE_golden_digests.json`` — captured before
+   the hot-path work started. An optimization that shifts a single
+   event time, priority, sequence, or label fails here, not in a
+   figure three PRs later.
+
+2. **The trajectory.** ``results/BENCH_engine_throughput.json`` records
+   fleet sessions/sec, single-session events/sec, and p50 walls for the
+   fingerprinted experiments, next to the pre-optimization baseline.
+   ``check_engine_regression.py`` (and the ``engine-bench`` CI job)
+   compare future runs against this snapshot.
+
+See ``docs/performance.md`` for how to read and extend the snapshot.
+"""
+
+import json
+
+from repro.analysis.engine_bench import (
+    FINGERPRINT_EXPERIMENTS,
+    engine_fingerprints,
+    measure_experiment_wall,
+    measure_fleet_throughput,
+    measure_session_events,
+)
+
+from .conftest import RESULTS_DIR
+
+#: Best-of-3 fleet sessions/sec on the pre-optimization engine
+#: (commit 9a855d0, same workload: 64 sessions x 6 runs, seed 0),
+#: measured on the machine that captured the golden digests. Absolute
+#: walls are host-dependent; the ratio is still the honest trajectory.
+BASELINE_SESSIONS_PER_SEC = 47.2366
+
+GOLDEN_PATH = RESULTS_DIR / "ENGINE_golden_digests.json"
+
+
+def test_optimizations_are_observably_free():
+    """Whole-dict equality with the pre-optimization goldens.
+
+    Compare the full structure, not per-key: a missing experiment or a
+    changed replay workload must fail as loudly as a changed digest.
+    """
+    with open(GOLDEN_PATH) as handle:
+        golden = json.load(handle)
+    assert engine_fingerprints() == golden
+
+
+def test_engine_throughput(benchmark):
+    fleet = benchmark.pedantic(
+        measure_fleet_throughput, kwargs={"repeats": 3},
+        rounds=1, iterations=1,
+    )
+    events = measure_session_events()
+    walls = {
+        experiment_id: measure_experiment_wall(experiment_id, **kwargs)
+        for experiment_id, kwargs in FINGERPRINT_EXPERIMENTS
+    }
+
+    # Sanity floors only — the >20% regression gate against the
+    # committed snapshot lives in check_engine_regression.py, where a
+    # same-host comparison makes the number meaningful.
+    assert fleet["sessions_per_sec"] > 0
+    assert events["events_per_sec"] > 0
+
+    metrics = {
+        "baseline_sessions_per_sec": BASELINE_SESSIONS_PER_SEC,
+        "fleet": fleet,
+        "session_events": events,
+        "experiment_p50_wall_s": {
+            experiment_id: wall["p50_wall_s"]
+            for experiment_id, wall in walls.items()
+        },
+        "speedup_vs_baseline": (
+            fleet["sessions_per_sec"] / BASELINE_SESSIONS_PER_SEC
+        ),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "BENCH_engine_throughput.json", "w") as handle:
+        json.dump(metrics, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    benchmark.extra_info.update(
+        sessions_per_sec=fleet["sessions_per_sec"],
+        events_per_sec=events["events_per_sec"],
+        speedup_vs_baseline=metrics["speedup_vs_baseline"],
+    )

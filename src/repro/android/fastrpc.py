@@ -132,6 +132,9 @@ class FastRpcChannel:
         )
         self.stats = FastRpcStats()
         self._session_open = False
+        #: Static span metadata, built once — probes copy it into each
+        #: span, and untraced runs never allocate a per-call dict.
+        self._probe_meta = {"process": process_id}
 
     def open_session(self):
         """Map the process onto the DSP (idempotent)."""
@@ -139,7 +142,7 @@ class FastRpcChannel:
             return
         start = self.kernel.now
         with probe(self.kernel, "fastrpc", "open_session",
-                   process=self.process_id):
+                   self._probe_meta):
             yield from self.kernel.syscall(label="fastrpc:open")
             if self.dsp.map_process(self.process_id):
                 # Remote loader + SMMU mapping run on the DSP side; the
@@ -193,14 +196,16 @@ class FastRpcChannel:
             thermal._apply_throttle()
             self.stats.thermal_events += 1
             instant(sim, "fault:thermal",
-                    process=self.process_id, jump_c=jump)
+                    {"process": self.process_id, "jump_c": jump})
             fault = None
 
         # The Fig. 7 call flow, each stage a nested span on the
         # "fastrpc" track (probes are no-ops when tracing is off).
-        with probe(sim, "fastrpc", f"invoke:{label}",
-                   process=self.process_id, input_bytes=input_bytes,
-                   output_bytes=output_bytes) as span:
+        with probe(sim, "fastrpc", "invoke:" + label) as span:
+            if span is not None:
+                span.meta["process"] = self.process_id
+                span.meta["input_bytes"] = input_bytes
+                span.meta["output_bytes"] = output_bytes
             # User side: marshal arguments.
             with probe(sim, "fastrpc", "user:marshal"):
                 yield Work(
@@ -236,8 +241,11 @@ class FastRpcChannel:
             # WaitFor (fault injection, watchdog abort) leaked the slot
             # and wedged the capacity-1 DSP for the rest of the run.
             with self.dsp.resource.request() as request:
-                with probe(sim, "fastrpc", "dsp:queue",
-                           depth=self.dsp.resource.queue_length):
+                with probe(sim, "fastrpc", "dsp:queue") as queue_span:
+                    if queue_span is not None:
+                        queue_span.meta["depth"] = (
+                            self.dsp.resource.queue_length
+                        )
                     if self.queue_timeout_us is not None:
                         deadline = sim.timeout(self.queue_timeout_us)
                         yield WaitFor(sim.any_of([request, deadline]))
@@ -317,7 +325,7 @@ class FastRpcChannel:
         """Surface an injected fault as the driver would. Always raises."""
         sim = self.kernel.sim
         instant(sim, f"fault:{fault.kind}",
-                process=self.process_id, call=label)
+                {"process": self.process_id, "call": label})
         if span is not None:
             span.meta["status"] = fault.kind
         if fault.kind == FAULT_TIMEOUT:
@@ -329,7 +337,7 @@ class FastRpcChannel:
                 else params.FASTRPC_INJECTED_TIMEOUT_US
             )
             with probe(sim, "fastrpc", "dsp:queue",
-                       depth=self.dsp.resource.queue_length):
+                       {"depth": self.dsp.resource.queue_length}):
                 yield Sleep(wait)
             self.stats.dsp_queue_us += self.kernel.now - queue_start
             yield Work(params.IOCTL_US, label=f"fastrpc:{label}:etimedout")
@@ -391,7 +399,8 @@ class FastRpcChannel:
                 self.stats.retries += 1
                 self.stats.backoff_us += backoff
                 with probe(self.kernel.sim, "fastrpc", f"retry:{label}",
-                           attempt=attempt, cause=type(exc).__name__):
+                           {"attempt": attempt,
+                            "cause": type(exc).__name__}):
                     if backoff > 0:
                         yield Sleep(backoff)
 

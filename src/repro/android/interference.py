@@ -71,6 +71,7 @@ def _daemon_body(kernel, spec, intensity, rng):
     # latency distribution (paper Fig. 11).
     sigma = 1.2
     mu = math.log(spec.mean_burst_us) - sigma * sigma / 2.0
+    label = "daemon:" + spec.name
     while True:
         interval = rng.exponential(spec.mean_interval_us)
         yield Sleep(max(interval, 50.0))
@@ -78,7 +79,7 @@ def _daemon_body(kernel, spec, intensity, rng):
             rng.lognormal(mu, sigma), 6.0 * spec.mean_burst_us
         ) * intensity
         if burst > 1.0:
-            yield Work(burst, label=f"daemon:{spec.name}")
+            yield Work(burst, label=label)
 
 
 def start_interference(kernel, profile):

@@ -21,6 +21,7 @@ Design notes
 """
 
 from repro.android import params
+from repro.sim.events import TRIGGERED, Event, Timeout
 from repro.android.thread import (
     BLOCKED,
     DONE,
@@ -59,15 +60,32 @@ class Kernel:
         self._rng = sim.rng.stream("sched")
         self._next_pid = 1000
         self._next_tid = 1
+        # Static per-core tables for the dispatch hot paths: the
+        # negated perf index keyed by core id (same ordering the old
+        # `sort(key=lambda cid: -soc.core(cid).perf_index)` produced,
+        # without a linear core lookup per element) and, per core, the
+        # strictly-faster cores a preempted thread could misfit-migrate
+        # to, in `soc.cores` order.
+        self._neg_perf = {core.core_id: -core.perf_index for core in soc.cores}
+        self._faster_cores = {
+            core.core_id: tuple(
+                other for other in soc.cores
+                if other.perf_index > core.perf_index
+            )
+            for core in soc.cores
+        }
         # Start dispatch loops fastest-core-first so work queued before
-        # the first simulation step lands on the big cluster.
+        # the first simulation step lands on the big cluster. These are
+        # callback state machines, not generator Processes: one event
+        # callback frame replaces the Process._resume -> generator.send
+        # chain on the two hottest loops in the simulation. Their event
+        # streams — bootstrap labels included — are byte-identical to
+        # the generator forms they replaced (see docs/performance.md).
         for core in sorted(soc.cores, key=lambda c: -c.perf_index):
-            sim.process(self._core_loop(core), name=f"{core.name}:loop")
+            _CoreLoop(self, core)
         if enable_dvfs:
             for cluster in soc.clusters:
-                sim.process(
-                    self._governor_loop(cluster), name=f"gov:{cluster.name}"
-                )
+                _GovernorLoop(self, cluster)
         if enable_thermal:
             sim.process(self._thermal_loop(), name="thermal")
         if sim.trace is not None:
@@ -138,17 +156,19 @@ class Kernel:
             self._enqueue(thread)
         elif isinstance(request, Sleep):
             thread.state = BLOCKED
-            self.sim.schedule_callback(
-                request.duration_us,
-                lambda _event: self._advance(thread, None),
-                name=f"{thread.name}:sleep",
+            timeout = Timeout(
+                self.sim, request.duration_us, name=thread._sleep_name
+            )
+            timeout.callbacks.append(
+                lambda _event: self._advance(thread, None)
             )
         elif isinstance(request, WaitFor):
             thread.state = BLOCKED
             event = request.event
             if event.processed:
-                self.sim.schedule_callback(
-                    0.0, lambda _ev: self._resume_from_event(thread, event)
+                timeout = Timeout(self.sim, 0.0)
+                timeout.callbacks.append(
+                    lambda _ev: self._resume_from_event(thread, event)
                 )
             else:
                 event.callbacks.append(
@@ -167,14 +187,17 @@ class Kernel:
             self._advance(thread, event._value)
 
     def _min_runnable_vruntime(self):
-        candidates = [thread.vruntime for thread in self._runqueue]
-        candidates.extend(
-            core.current_thread.vruntime
-            for core in self.soc.cores
-            if core.current_thread is not None
-            and core.current_thread.state == RUNNING
-        )
-        return min(candidates) if candidates else 0.0
+        # Single pass, no intermediate list: runs on every wakeup.
+        best = None
+        for thread in self._runqueue:
+            if best is None or thread.vruntime < best:
+                best = thread.vruntime
+        for core in self.soc.cores:
+            running = core.current_thread
+            if running is not None and running.state == RUNNING:
+                if best is None or running.vruntime < best:
+                    best = running.vruntime
+        return 0.0 if best is None else best
 
     def _enqueue(self, thread):
         thread.state = RUNNABLE
@@ -185,135 +208,54 @@ class Kernel:
         self._wake_idle_cores(thread)
 
     def _wake_idle_cores(self, thread):
-        eligible = [
-            core_id
-            for core_id, event in self._idle_events.items()
-            if event is not None and thread.can_run_on(self.soc.core(core_id))
-        ]
+        idle_events = self._idle_events
+        affinity = thread.affinity
+        if affinity is None:
+            eligible = [
+                core_id
+                for core_id, event in idle_events.items()
+                if event is not None
+            ]
+        else:
+            eligible = [
+                core_id
+                for core_id, event in idle_events.items()
+                if event is not None and core_id in affinity
+            ]
+        if not eligible:
+            return
         # Capacity-aware placement (EAS-style): offer work to the fastest
         # idle cores first, with a randomized tiebreak within a cluster so
-        # placement among equal cores is not always cpu4.
-        self._rng.shuffle(eligible)
-        eligible.sort(key=lambda cid: -self.soc.core(cid).perf_index)
+        # placement among equal cores is not always cpu4. NumPy's
+        # Generator.shuffle draws nothing for sequences of length <= 1,
+        # so skipping it there leaves the RNG stream byte-identical.
+        if len(eligible) > 1:
+            self._rng.shuffle(eligible)
+            eligible.sort(key=self._neg_perf.__getitem__)
+        schedule = self.sim._schedule
         for core_id in eligible:
-            event = self._idle_events[core_id]
-            self._idle_events[core_id] = None
-            event.succeed()
+            event = idle_events[core_id]
+            idle_events[core_id] = None
+            # Inlined event.succeed() with no value: idle events are
+            # created PENDING by the core loop and only triggered here.
+            event._state = TRIGGERED
+            schedule(event)
 
     def _pick_for(self, core):
         best = None
+        best_vruntime = 0.0
+        core_id = core.core_id
         for thread in self._runqueue:
-            if not thread.can_run_on(core):
+            affinity = thread.affinity
+            if affinity is not None and core_id not in affinity:
                 continue
-            if best is None or thread.vruntime < best.vruntime:
+            vruntime = thread.vruntime
+            if best is None or vruntime < best_vruntime:
                 best = thread
+                best_vruntime = vruntime
         return best
 
-    def _core_loop(self, core):
-        sim = self.sim
-        while True:
-            thread = self._pick_for(core)
-            if thread is None:
-                idle = sim.event(name=f"{core.name}:idle")
-                self._idle_events[core.core_id] = idle
-                yield idle
-                continue
-            self._runqueue.remove(thread)
-            thread.state = RUNNING
-            if core.current_thread is not thread:
-                thread.stats.context_switches += 1
-                if sim.trace is not None:
-                    sim.trace.count(f"ctx_switch:{core.name}")
-                    sim.trace.count("ctx_switch")
-                yield sim.timeout(params.CONTEXT_SWITCH_US)
-            if (
-                thread.last_core_id is not None
-                and thread.last_core_id != core.core_id
-            ):
-                thread.stats.migrations += 1
-                thread.penalty_work += params.MIGRATION_PENALTY_US
-                if sim.trace is not None:
-                    sim.trace.count("migration")
-                    sim.trace.mark(
-                        "migration",
-                        thread=thread.name,
-                        from_core=thread.last_core_id,
-                        to_core=core.core_id,
-                    )
-            core.current_thread = thread
-            thread.last_core_id = core.core_id
-
-            speed = max(core.speed, _MIN_SPEED)
-            total_work = thread.penalty_work + thread.remaining_work
-            slice_work = min(total_work, params.TIMESLICE_US * speed)
-            duration = slice_work / speed
-            span = None
-            if sim.trace is not None:
-                span = sim.trace.begin(core.name, thread.name, tid=thread.tid)
-            yield sim.timeout(duration)
-            if span is not None:
-                sim.trace.end(span)
-
-            penalty_used = min(thread.penalty_work, slice_work)
-            thread.penalty_work -= penalty_used
-            thread.remaining_work -= slice_work - penalty_used
-            thread.vruntime += duration / thread.weight
-            thread.stats.cpu_time_us += duration
-            thread.stats.slices += 1
-            thread.stats.cores_used.add(core.core_id)
-            core.busy_us += duration
-            self.soc.energy.add_cpu_slice(
-                core, duration, label=thread.current_label or thread.name
-            )
-            self._cluster_busy[core.cluster.name] += duration
-            self._core_busy[core.core_id] += duration
-            self._total_busy += duration
-
-            if thread.remaining_work <= 1e-9:
-                thread.state = BLOCKED
-                thread.remaining_work = 0.0
-                self._advance(thread, None)
-            else:
-                thread.state = RUNNABLE
-                self._runqueue.append(thread)
-                # Misfit migration (EAS): when a strictly faster core
-                # sits idle, hand the preempted thread over instead of
-                # letting this core re-pick it — the yield gives the
-                # woken core's loop one schedule round to steal. Equal
-                # or slower idle cores never steal here, which avoids
-                # pointless migration ping-pong at slice boundaries.
-                faster_idle = any(
-                    self._idle_events.get(other.core_id) is not None
-                    and other.perf_index > core.perf_index
-                    and thread.can_run_on(other)
-                    for other in self.soc.cores
-                )
-                if faster_idle:
-                    self._wake_idle_cores(thread)
-                    yield sim.timeout(0.0)
-
     # -- periodic services ----------------------------------------------
-
-    def _governor_loop(self, cluster):
-        # schedutil tracks per-CPU utilization and a cluster runs at the
-        # frequency its *busiest* core needs — a single fully-busy core
-        # pins the whole cluster at the top OPP.
-        last_busy = {core.core_id: 0.0 for core in cluster.cores}
-        while True:
-            yield self.sim.timeout(_GOVERNOR_WINDOW_US)
-            utilization = 0.0
-            for core in cluster.cores:
-                busy = self._core_busy[core.core_id]
-                window_busy = busy - last_busy[core.core_id]
-                last_busy[core.core_id] = busy
-                utilization = max(
-                    utilization, min(1.0, window_busy / _GOVERNOR_WINDOW_US)
-                )
-            cluster.governor.update(utilization)
-            if self.sim.trace is not None:
-                self.sim.trace.count(
-                    f"freq:{cluster.name}", cluster.governor.current_khz
-                )
 
     def _trace_sampler_loop(self):
         # Counter tracks for the Chrome-trace export: die temperature
@@ -355,3 +297,270 @@ class Kernel:
         if service_work_us > 0:
             yield Sleep(service_work_us)
         yield Work(params.BINDER_CALL_US / 2, label=f"{label}:recv")
+
+
+class _CoreLoop:
+    """Dispatch loop for one core, written as a callback state machine.
+
+    Semantically this is the generator::
+
+        while True:
+            thread = pick()                   # or wait on an idle event
+            maybe yield Timeout(ctx_switch)   # if a different thread ran
+            yield Timeout(slice)              # execute one timeslice
+            account(); maybe yield Timeout(0) # misfit handoff
+
+    driven directly by event callbacks instead of through a
+    :class:`~repro.sim.process.Process`. Every timeslice on every core
+    passes through this loop — it retires the large majority of all
+    simulation events — and the ``Process._resume`` ->
+    ``generator.send`` frames cost more than the loop body itself. The
+    events it creates (labels, creation order, priorities, including
+    the ``<core>:loop:start`` bootstrap) are byte-identical to the
+    generator form it replaced, which the sanitizer's replay digest
+    pins (see ``docs/performance.md``).
+    """
+
+    # Resume states: where the loop continues when its pending event pops.
+    _PICK = 0
+    _RUN = 1
+    _ACCOUNT = 2
+
+    __slots__ = (
+        "kernel", "sim", "trace", "core", "core_id", "runqueue",
+        "idle_events", "cluster", "cluster_name", "governor",
+        "opp_max_khz", "perf_index", "faster_cores", "idle_name",
+        "add_cpu_slice", "context_switch_us", "migration_penalty_us",
+        "timeslice_us", "_state", "_thread", "_slice_work", "_duration",
+        "_span",
+    )
+
+    def __init__(self, kernel, core):
+        sim = kernel.sim
+        self.kernel = kernel
+        self.sim = sim
+        self.trace = sim.trace  # fixed at Simulator construction
+        self.core = core
+        self.core_id = core.core_id
+        self.runqueue = kernel._runqueue
+        self.idle_events = kernel._idle_events
+        cluster = core.cluster
+        self.cluster = cluster
+        self.cluster_name = cluster.name
+        self.governor = cluster.governor
+        self.opp_max_khz = cluster.governor.opp.max_khz
+        self.perf_index = core.perf_index
+        self.faster_cores = kernel._faster_cores[core.core_id]
+        self.idle_name = core.name + ":idle"
+        self.add_cpu_slice = kernel.soc.energy.add_cpu_slice
+        self.context_switch_us = params.CONTEXT_SWITCH_US
+        self.migration_penalty_us = params.MIGRATION_PENALTY_US
+        self.timeslice_us = params.TIMESLICE_US
+        self._state = self._PICK
+        self._thread = None
+        self._slice_work = 0.0
+        self._duration = 0.0
+        self._span = None
+        # Bootstrap identical to ``sim.process(..., name=f"{core.name}:loop")``:
+        # a triggered urgent event labelled ``<name>:start`` whose pop
+        # runs the first dispatch round.
+        start = Event(sim, name=core.name + ":loop:start")
+        start.callbacks.append(self._run)
+        start._state = TRIGGERED
+        sim._schedule(start, priority=sim.PRIORITY_URGENT)
+
+    def _run(self, _event):
+        # One activation: loop over states until the machine blocks on
+        # a new event (idle wait or timeout) and returns. The events
+        # this creates never fail, so there is no exception relay.
+        kernel = self.kernel
+        sim = self.sim
+        core = self.core
+        core_id = self.core_id
+        runqueue = self.runqueue
+        trace = self.trace
+        state = self._state
+        thread = self._thread
+        while True:
+            if state == 0:  # _PICK: choose a thread or go idle
+                # Inlined Kernel._pick_for: lowest-vruntime runnable
+                # thread this core may run.
+                thread = None
+                best_vruntime = 0.0
+                for candidate in runqueue:
+                    affinity = candidate.affinity
+                    if affinity is not None and core_id not in affinity:
+                        continue
+                    vruntime = candidate.vruntime
+                    if thread is None or vruntime < best_vruntime:
+                        thread = candidate
+                        best_vruntime = vruntime
+                if thread is None:
+                    idle = Event(sim, name=self.idle_name)
+                    idle.callbacks.append(self._run)
+                    self.idle_events[core_id] = idle
+                    self._state = 0
+                    self._thread = None
+                    return
+                runqueue.remove(thread)
+                thread.state = RUNNING
+                if core.current_thread is not thread:
+                    thread.stats.context_switches += 1
+                    if trace is not None:
+                        trace.count(f"ctx_switch:{core.name}")
+                        trace.count("ctx_switch")
+                    timeout = Timeout(sim, self.context_switch_us)
+                    timeout.callbacks.append(self._run)
+                    self._state = 1
+                    self._thread = thread
+                    return
+                state = 1
+            elif state == 1:  # _RUN: charge migration, run one slice
+                if (
+                    thread.last_core_id is not None
+                    and thread.last_core_id != core_id
+                ):
+                    thread.stats.migrations += 1
+                    thread.penalty_work += self.migration_penalty_us
+                    if trace is not None:
+                        trace.count("migration")
+                        trace.mark(
+                            "migration",
+                            thread=thread.name,
+                            from_core=thread.last_core_id,
+                            to_core=core_id,
+                        )
+                core.current_thread = thread
+                thread.last_core_id = core_id
+                # Inlined core.speed (perf * speed_fraction * thermal
+                # factor) — same expression, minus two property frames
+                # per slice; speed_fraction is current_khz / max_khz.
+                fraction = self.governor.current_khz / self.opp_max_khz
+                speed = (
+                    self.perf_index * fraction * self.cluster.thermal_factor
+                )
+                if speed < _MIN_SPEED:
+                    speed = _MIN_SPEED
+                total_work = thread.penalty_work + thread.remaining_work
+                slice_work = min(total_work, self.timeslice_us * speed)
+                duration = slice_work / speed
+                span = None
+                if trace is not None:
+                    span = trace.begin(
+                        core.name, thread.name, tid=thread.tid
+                    )
+                timeout = Timeout(sim, duration)
+                timeout.callbacks.append(self._run)
+                self._state = 2
+                self._thread = thread
+                self._slice_work = slice_work
+                self._duration = duration
+                self._span = span
+                return
+            else:  # _ACCOUNT: book the finished slice
+                span = self._span
+                if span is not None:
+                    trace.end(span)
+                    self._span = None
+                slice_work = self._slice_work
+                duration = self._duration
+                penalty_used = min(thread.penalty_work, slice_work)
+                thread.penalty_work -= penalty_used
+                thread.remaining_work -= slice_work - penalty_used
+                thread.vruntime += duration / thread.weight
+                stats = thread.stats
+                stats.cpu_time_us += duration
+                stats.slices += 1
+                stats.cores_used.add(core_id)
+                core.busy_us += duration
+                # The energy meter charges the slice at the OPP current
+                # *now* (slice end) — the governor may have stepped
+                # mid-slice, so this is not the fraction used for speed.
+                self.add_cpu_slice(
+                    core, duration,
+                    label=thread.current_label or thread.name,
+                    fraction=self.governor.current_khz / self.opp_max_khz,
+                )
+                kernel._cluster_busy[self.cluster_name] += duration
+                kernel._core_busy[core_id] += duration
+                kernel._total_busy += duration
+                if thread.remaining_work <= 1e-9:
+                    thread.state = BLOCKED
+                    thread.remaining_work = 0.0
+                    kernel._advance(thread, None)
+                    state = 0
+                    continue
+                thread.state = RUNNABLE
+                runqueue.append(thread)
+                # Misfit migration (EAS): when a strictly faster core
+                # sits idle, hand the preempted thread over instead of
+                # re-picking it here — the zero timeout gives the woken
+                # core's loop one schedule round to steal. Equal or
+                # slower idle cores never steal, avoiding migration
+                # ping-pong at slice boundaries. ``faster_cores`` is
+                # the precomputed tuple of strictly faster cores.
+                idle_events = self.idle_events
+                for other in self.faster_cores:
+                    if idle_events.get(other.core_id) is not None and (
+                        thread.can_run_on(other)
+                    ):
+                        kernel._wake_idle_cores(thread)
+                        timeout = Timeout(sim, 0.0)
+                        timeout.callbacks.append(self._run)
+                        self._state = 0
+                        self._thread = None
+                        return
+                state = 0
+
+
+class _GovernorLoop:
+    """Periodic schedutil sampling for one cluster (callback form).
+
+    schedutil tracks per-CPU utilization and a cluster runs at the
+    frequency its *busiest* core needs — a single fully-busy core pins
+    the whole cluster at the top OPP. Like :class:`_CoreLoop` this is a
+    callback state machine with an event stream byte-identical to the
+    generator Process it replaced (bootstrap ``gov:<cluster>:start``,
+    then one ``timeout(4000.0)`` per window).
+    """
+
+    __slots__ = (
+        "sim", "trace", "core_busy", "core_ids", "last_busy", "governor",
+        "update", "freq_label",
+    )
+
+    def __init__(self, kernel, cluster):
+        sim = kernel.sim
+        self.sim = sim
+        self.trace = sim.trace
+        self.core_busy = kernel._core_busy
+        self.core_ids = tuple(core.core_id for core in cluster.cores)
+        self.last_busy = {core_id: 0.0 for core_id in self.core_ids}
+        self.governor = cluster.governor
+        self.update = cluster.governor.update
+        self.freq_label = "freq:" + cluster.name
+        start = Event(sim, name="gov:" + cluster.name + ":start")
+        start.callbacks.append(self._start)
+        start._state = TRIGGERED
+        sim._schedule(start, priority=sim.PRIORITY_URGENT)
+
+    def _start(self, _event):
+        timeout = Timeout(self.sim, _GOVERNOR_WINDOW_US)
+        timeout.callbacks.append(self._tick)
+
+    def _tick(self, _event):
+        core_busy = self.core_busy
+        last_busy = self.last_busy
+        utilization = 0.0
+        for core_id in self.core_ids:
+            busy = core_busy[core_id]
+            window_busy = busy - last_busy[core_id]
+            last_busy[core_id] = busy
+            utilization = max(
+                utilization, min(1.0, window_busy / _GOVERNOR_WINDOW_US)
+            )
+        self.update(utilization)
+        if self.trace is not None:
+            self.trace.count(self.freq_label, self.governor.current_khz)
+        timeout = Timeout(self.sim, _GOVERNOR_WINDOW_US)
+        timeout.callbacks.append(self._tick)

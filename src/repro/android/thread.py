@@ -63,6 +63,13 @@ class SimThread:
     step); ``affinity`` is an optional set of allowed core ids.
     """
 
+    __slots__ = (
+        "kernel", "body", "name", "tid", "nice", "affinity", "process",
+        "state", "vruntime", "last_core_id", "remaining_work",
+        "current_label", "penalty_work", "stats", "done", "weight",
+        "_sleep_name",
+    )
+
     def __init__(self, kernel, body, name, nice=0, affinity=None, process=None):
         self.kernel = kernel
         self.body = body
@@ -80,13 +87,14 @@ class SimThread:
         #: Pending one-off penalty work (migration cost) in ref-us.
         self.penalty_work = 0.0
         self.stats = ThreadStats()
+        #: CFS load weight; vruntime advances inversely to this. ``nice``
+        #: is fixed at spawn, so the weight is computed once instead of
+        #: one ``**`` per slice.
+        self.weight = params.NICE_WEIGHT_STEP ** (-nice)
+        #: Label reused by every Sleep the body issues (see Kernel._advance).
+        self._sleep_name = name + ":sleep"
         #: Event triggered with the body's return value when it finishes.
         self.done = kernel.sim.event(name=f"{name}:done")
-
-    @property
-    def weight(self):
-        """CFS load weight; vruntime advances inversely to this."""
-        return params.NICE_WEIGHT_STEP ** (-self.nice)
 
     def can_run_on(self, core):
         return self.affinity is None or core.core_id in self.affinity

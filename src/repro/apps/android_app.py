@@ -99,25 +99,34 @@ class AndroidApp:
         # Stage spans on the "pipeline" track mirror the PipelineRun
         # boundaries exactly, so the exported trace and the breakdown
         # tables attribute the same microseconds to the same stages.
-        with probe(kernel, "pipeline", "prepare", model=self.model_key):
+        with probe(kernel, "pipeline", "prepare",
+                   {"model": self.model_key}):
             yield from self.session.prepare()
         for index in range(runs):
             start = kernel.now
-            with probe(kernel, "pipeline", "data_capture", iteration=index):
+            with probe(kernel, "pipeline", "data_capture") as span:
+                if span is not None:
+                    span.meta["iteration"] = index
                 yield from self._capture()
             t_capture = kernel.now
-            with probe(kernel, "pipeline", "pre_processing",
-                       iteration=index):
+            with probe(kernel, "pipeline", "pre_processing") as span:
+                if span is not None:
+                    span.meta["iteration"] = index
                 yield Work(self._pre_cost_us, label="app:pre")
             t_pre = kernel.now
-            with probe(kernel, "pipeline", "inference", iteration=index):
+            with probe(kernel, "pipeline", "inference") as span:
+                if span is not None:
+                    span.meta["iteration"] = index
                 yield from self.session.invoke()
             t_infer = kernel.now
-            with probe(kernel, "pipeline", "post_processing",
-                       iteration=index):
+            with probe(kernel, "pipeline", "post_processing") as span:
+                if span is not None:
+                    span.meta["iteration"] = index
                 yield Work(self.post_plan.cost_us, label="app:post")
             t_post = kernel.now
-            with probe(kernel, "pipeline", "other", iteration=index):
+            with probe(kernel, "pipeline", "other") as span:
+                if span is not None:
+                    span.meta["iteration"] = index
                 yield from self._render()
             t_end = kernel.now
             self.records.add(

@@ -79,27 +79,36 @@ class BenchmarkCli:
             start_interference(self.kernel, self._interference)
             self._interference_started = True
         kernel = self.kernel
-        with probe(kernel, "pipeline", "prepare", model=self.model_key):
+        with probe(kernel, "pipeline", "prepare",
+                   {"model": self.model_key}):
             yield from self.session.prepare()
         for index in range(runs):
             start = kernel.now
-            with probe(kernel, "pipeline", "data_capture", iteration=index):
+            with probe(kernel, "pipeline", "data_capture") as span:
+                if span is not None:
+                    span.meta["iteration"] = index
                 yield from self._capture()
             t_capture = kernel.now
-            with probe(kernel, "pipeline", "pre_processing",
-                       iteration=index):
+            with probe(kernel, "pipeline", "pre_processing") as span:
+                if span is not None:
+                    span.meta["iteration"] = index
                 if self.pre_plan.cost_us > 0:
                     yield Work(self.pre_plan.cost_us, label="bench:pre")
             t_pre = kernel.now
-            with probe(kernel, "pipeline", "inference", iteration=index):
+            with probe(kernel, "pipeline", "inference") as span:
+                if span is not None:
+                    span.meta["iteration"] = index
                 yield from self.session.invoke()
             t_infer = kernel.now
-            with probe(kernel, "pipeline", "post_processing",
-                       iteration=index):
+            with probe(kernel, "pipeline", "post_processing") as span:
+                if span is not None:
+                    span.meta["iteration"] = index
                 if self.post_plan.cost_us > 0:
                     yield Work(self.post_plan.cost_us, label="bench:post")
             t_post = kernel.now
-            with probe(kernel, "pipeline", "other", iteration=index):
+            with probe(kernel, "pipeline", "other") as span:
+                if span is not None:
+                    span.meta["iteration"] = index
                 yield from self._other()
             t_end = kernel.now
             self.records.add(

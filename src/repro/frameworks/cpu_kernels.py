@@ -12,6 +12,7 @@ Two kernel tiers matter for the paper's Fig. 5:
 
 from repro.sim import units
 from repro.soc import params
+from repro.soc.cost_tables import build_table, lookup_table
 
 IMPL_TUNED = "tuned"
 IMPL_REFERENCE = "reference"
@@ -48,8 +49,20 @@ def op_cpu_work_us(op, dtype, impl=IMPL_TUNED):
 
 
 def graph_cpu_work_us(ops, dtype, impl=IMPL_TUNED):
-    """Total single-core reference-us for an op list."""
-    return sum(op_cpu_work_us(op, dtype, impl) for op in ops)
+    """Total single-core reference-us for an op list.
+
+    Memoized per ``(dtype, impl, ops)`` — see
+    :mod:`repro.soc.cost_tables`. The cached total is the same
+    left-fold sum of the same per-op values, so results are bit-equal
+    to pricing the graph inline on every call.
+    """
+    config = ("cpu", dtype, impl)
+    table = lookup_table(config, ops)
+    if table is None:
+        table = build_table(
+            config, ops, [op_cpu_work_us(op, dtype, impl) for op in ops]
+        )
+    return table.total_us
 
 
 def parallel_efficiency(threads):

@@ -46,6 +46,14 @@ _BOUNDARY_DISPATCH_US = 14.0
 #: hatch is the slow portable path — the paper's Fig. 5 failure mode.
 _MAX_FRAGMENTATION = 0.18
 
+#: Pre-rendered span labels for the per-invoke partition probes; an
+#: f-string here would allocate on every partition even when tracing
+#: is off (unknown devices fall back to concatenation).
+_PARTITION_SPAN_LABELS = {
+    device: "partition:" + device
+    for device in ("cpu", "cpu-reference", "gpu", "dsp")
+}
+
 
 class NnapiSession(InferenceSession):
     """An NNAPI compilation + execution for one model."""
@@ -138,7 +146,8 @@ class NnapiSession(InferenceSession):
     def prepare(self):
         """Model compilation (paper: performed once per model load)."""
         start = self.kernel.now
-        with probe(self.kernel, "nnapi", "compile", model=self.model.name):
+        with probe(self.kernel, "nnapi", "compile",
+                   {"model": self.model.name}):
             with probe(self.kernel, "nnapi", "partition"):
                 yield Work(
                     _COMPILE_BASE_US
@@ -236,17 +245,24 @@ class NnapiSession(InferenceSession):
             if previous_device is not None and partition.device != previous_device:
                 crossings += 1
                 in_bytes, _ = self._boundary_bytes(partition)
-                with probe(kernel, "nnapi", "boundary",
-                           from_device=previous_device,
-                           to_device=partition.device):
+                with probe(kernel, "nnapi", "boundary") as span:
+                    if span is not None:
+                        span.meta["from_device"] = previous_device
+                        span.meta["to_device"] = partition.device
                     yield Work(
                         _BOUNDARY_DISPATCH_US
                         + soc.memory.dram_copy_us(in_bytes),
                         label="nnapi:boundary",
                     )
             previous_device = partition.device
-            with probe(kernel, "nnapi", f"partition:{partition.device}",
-                       index=partition.index, ops=partition.op_count):
+            with probe(kernel, "nnapi",
+                       _PARTITION_SPAN_LABELS.get(
+                           partition.device,
+                           "partition:" + partition.device,
+                       )) as span:
+                if span is not None:
+                    span.meta["index"] = partition.index
+                    span.meta["ops"] = partition.op_count
                 yield from self._run_partition(partition)
         duration = kernel.now - start
         faults_after, retries_after = self._fault_snapshot()
@@ -317,7 +333,8 @@ class NnapiSession(InferenceSession):
                     partition.ops, self.model.dtype, IMPL_REFERENCE
                 )
                 with probe(kernel, "nnapi", "runtime_fallback",
-                           index=partition.index, cause=type(exc).__name__):
+                           {"index": partition.index,
+                            "cause": type(exc).__name__}):
                     yield Work(work, label="nnapi:runtime_fallback")
                 self.stats.compute_us_total += work
                 self._invoke_fallbacks += 1

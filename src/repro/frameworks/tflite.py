@@ -66,12 +66,24 @@ class TfliteInterpreter(InferenceSession):
             model_name=model.name,
             framework="tflite" if delegate is None else f"tflite+{delegate.name}",
         )
+        # Invoke-span label and metadata are fixed for the session;
+        # rendering them per invoke would allocate even on untraced
+        # runs (probes copy the shared dict into each span).
+        if delegate is None:
+            self._invoke_span_label = "cpu_invoke"
+            self._invoke_span_meta = {
+                "model": model.name, "threads": threads,
+            }
+        else:
+            self._invoke_span_label = "delegate_invoke:" + delegate.name
+            self._invoke_span_meta = {"model": model.name}
 
     def prepare(self):
         """Model load + tensor allocation + delegate initialization."""
         start = self.kernel.now
         memory = self.kernel.soc.memory
-        with probe(self.kernel, "tflite", "load", model=self.model.name):
+        with probe(self.kernel, "tflite", "load",
+                   {"model": self.model.name}):
             load_us = memory.dram_copy_us(self.model.weight_bytes)
             parse_us = self.model.op_count * (
                 _PARSE_PER_OP_US + _ALLOC_PER_OP_US
@@ -95,14 +107,13 @@ class TfliteInterpreter(InferenceSession):
             raise RuntimeError("invoke() before prepare()")
         start = self.kernel.now
         if self.delegate is not None:
-            with probe(self.kernel, "tflite",
-                       f"delegate_invoke:{self.delegate.name}",
-                       model=self.model.name):
+            with probe(self.kernel, "tflite", self._invoke_span_label,
+                       self._invoke_span_meta):
                 compute_us = yield from self.delegate.invoke(self.model)
             self.stats.compute_us_total += compute_us
         else:
-            with probe(self.kernel, "tflite", "cpu_invoke",
-                       model=self.model.name, threads=self.threads):
+            with probe(self.kernel, "tflite", self._invoke_span_label,
+                       self._invoke_span_meta):
                 work = yield from run_graph_on_cpu(
                     self.kernel,
                     self.model.ops,

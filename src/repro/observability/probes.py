@@ -11,7 +11,9 @@ calls still leave a closed span behind):
     from repro.observability.probes import probe
 
     def invoke(self, ...):
-        with probe(self.kernel, "fastrpc", "invoke", pid=self.process_id):
+        with probe(self.kernel, "fastrpc", "invoke") as span:
+            if span is not None:
+                span.meta["pid"] = self.process_id
             yield Work(...)          # time passes inside the span
             yield from self.do_rpc()
 
@@ -22,6 +24,15 @@ manager when tracing is disabled, so instrumented code pays only an
 attribute lookup on untraced runs and never perturbs simulated time
 (the *probe effect* the paper quantifies in §III-D is modelled
 separately by :mod:`repro.core.probe`; these probes are free).
+
+Disabled probes are *allocation-free* (asserted by
+``tests/observability/test_probe_overhead.py``): span metadata travels
+as an optional positional dict, never ``**kwargs`` — a ``**meta``
+signature would allocate a fresh dict on every call even when tracing
+is off. Call sites with per-call metadata enter the span first and
+write ``span.meta`` only when a live span came back, as above; sites
+whose metadata is fixed for the life of a session pass one prebuilt
+dict (``begin`` copies it into the span, so spans never alias it).
 """
 
 
@@ -68,7 +79,13 @@ class _Probe:
         self.span = None
 
     def __enter__(self):
-        self.span = self._trace.begin(self._track, self._label, **self._meta)
+        meta = self._meta
+        if meta is None:
+            self.span = self._trace.begin(self._track, self._label)
+        else:
+            # Re-packed by begin's **meta, so the caller's dict (often a
+            # per-session constant) is never aliased by the span.
+            self.span = self._trace.begin(self._track, self._label, **meta)
         return self.span
 
     def __exit__(self, exc_type, exc, tb):
@@ -78,12 +95,15 @@ class _Probe:
         return False
 
 
-def probe(owner, track, label, **meta):
+def probe(owner, track, label, meta=None):
     """Context manager recording a span on ``track`` while it is open.
 
     ``owner`` may be a :class:`~repro.sim.trace.TraceRecorder`, a
     ``Simulator``, a ``Kernel``, or ``None``; when tracing is off a
-    shared null context is returned, so call sites need no guard.
+    shared null context is returned, so call sites need no guard and
+    the call allocates nothing. ``meta`` is an optional dict copied
+    into the span; for metadata that varies per call, prefer entering
+    the span and writing ``span.meta`` when the span is not None.
     """
     trace = _recorder(owner)
     if trace is None:
@@ -91,11 +111,14 @@ def probe(owner, track, label, **meta):
     return _Probe(trace, track, label, meta)
 
 
-def instant(owner, label, **meta):
+def instant(owner, label, meta=None):
     """Record an instantaneous event (``ph: "i"`` in the export)."""
     trace = _recorder(owner)
     if trace is not None:
-        trace.mark(label, **meta)
+        if meta is None:
+            trace.mark(label)
+        else:
+            trace.mark(label, **meta)
 
 
 def counter(owner, name, value=1):

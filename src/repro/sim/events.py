@@ -3,7 +3,17 @@
 An :class:`Event` is a one-shot occurrence that processes may wait on.
 Events succeed with a value or fail with an exception; callbacks attached
 to an event run when the simulator pops it off the schedule.
+
+Hot-path notes (see ``docs/performance.md``): events are the single most
+allocated object in a simulation — every timeslice, sleep, and wakeup is
+one. They use ``__slots__``, and default labels (``timeout(3000.0)``)
+are rendered *lazily* through the :attr:`Event.name` property so that an
+untraced, unsanitized run never pays for a string it never reads. The
+rendered text is byte-identical to the eager form, which the replay
+digest (:mod:`repro.analysis.sanitize`) depends on.
 """
+
+from heapq import heappush
 
 PENDING = "pending"
 TRIGGERED = "triggered"
@@ -26,16 +36,35 @@ class Event:
     sim:
         Owning :class:`~repro.sim.engine.Simulator`.
     name:
-        Optional label used in ``repr`` and traces.
+        Optional label used in ``repr``, traces, and replay digests.
+        Subclasses with a computable default render it lazily via
+        :meth:`_default_name`.
     """
+
+    __slots__ = (
+        "sim", "callbacks", "_name", "_state", "_value", "_exception",
+        "_canceled",
+    )
 
     def __init__(self, sim, name=None):
         self.sim = sim
-        self.name = name
+        self._name = name
         self.callbacks = []
         self._state = PENDING
         self._value = None
         self._exception = None
+        self._canceled = False
+
+    @property
+    def name(self):
+        """The event's label; defaults are rendered on first read."""
+        if self._name is None:
+            return self._default_name()
+        return self._name
+
+    def _default_name(self):
+        """Lazy default label; ``None`` keeps the event anonymous."""
+        return None
 
     @property
     def triggered(self):
@@ -48,11 +77,11 @@ class Event:
     @property
     def ok(self):
         """True when the event succeeded (only meaningful once triggered)."""
-        return self.triggered and self._exception is None
+        return self._state != PENDING and self._exception is None
 
     @property
     def value(self):
-        if not self.triggered:
+        if self._state == PENDING:
             raise RuntimeError(f"{self!r} has not been triggered")
         if self._exception is not None:
             raise self._exception
@@ -60,7 +89,7 @@ class Event:
 
     def succeed(self, value=None):
         """Trigger the event with ``value``; schedules callbacks at now."""
-        if self.triggered:
+        if self._state != PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         self._state = TRIGGERED
         self._value = value
@@ -69,7 +98,7 @@ class Event:
 
     def fail(self, exception):
         """Trigger the event with an exception to raise in waiters."""
-        if self.triggered:
+        if self._state != PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() expects an exception instance")
@@ -89,18 +118,41 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` microseconds after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim, delay, value=None, name=None):
+        # Flattened Event.__init__ (no super() call): timeouts are the
+        # most-constructed event type — one per timeslice, sleep, and
+        # context switch — and the extra frame is measurable.
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=name or f"timeout({delay})")
-        self.delay = delay
+        self.sim = sim
+        self._name = name
+        self.callbacks = []
         self._state = TRIGGERED
         self._value = value
-        sim._schedule(self, delay=delay)
+        self._exception = None
+        self._canceled = False
+        self.delay = delay
+        # Inlined sim._schedule(self, delay=delay) at PRIORITY_NORMAL
+        # (1) — the only other frame left on the timeout path.
+        time = sim.now + delay
+        sequence = sim._sequence
+        if sim.sanitizer is not None:
+            sim.sanitizer.on_schedule(time, 1, sequence, self)
+        heappush(sim._queue, (time, 1, sequence, self))
+        sim._sequence = sequence + 1
+
+    def _default_name(self):
+        # Rendered only when a sanitizer, trace, or repr asks — a plain
+        # run schedules tens of thousands of these without formatting.
+        return f"timeout({self.delay})"
 
 
 class _Condition(Event):
     """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_done")
 
     def __init__(self, sim, events, name):
         super().__init__(sim, name=name)
@@ -110,7 +162,7 @@ class _Condition(Event):
             self.succeed({})
             return
         for event in self.events:
-            if event.processed:
+            if event._state == PROCESSED:
                 self._on_child(event)
             else:
                 event.callbacks.append(self._on_child)
@@ -119,7 +171,7 @@ class _Condition(Event):
         return {
             index: event._value
             for index, event in enumerate(self.events)
-            if event.processed and event._exception is None
+            if event._state == PROCESSED and event._exception is None
         }
 
     def _on_child(self, event):
@@ -129,11 +181,13 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Succeeds when every child event has succeeded."""
 
+    __slots__ = ()
+
     def __init__(self, sim, events, name=None):
         super().__init__(sim, events, name or "all_of")
 
     def _on_child(self, event):
-        if self.triggered:
+        if self._state != PENDING:
             return
         if event._exception is not None:
             self.fail(event._exception)
@@ -146,11 +200,13 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Succeeds as soon as one child event succeeds."""
 
+    __slots__ = ()
+
     def __init__(self, sim, events, name=None):
         super().__init__(sim, events, name or "any_of")
 
     def _on_child(self, event):
-        if self.triggered:
+        if self._state != PENDING:
             return
         if event._exception is not None:
             self.fail(event._exception)

@@ -1,6 +1,6 @@
 """Generator-based simulation processes."""
 
-from repro.sim.events import Event, Interrupted
+from repro.sim.events import PENDING, PROCESSED, TRIGGERED, Event, Interrupted
 
 
 class Process(Event):
@@ -11,7 +11,14 @@ class Process(Event):
     the yield point (or its exception raised there). The process itself is
     an event that triggers with the generator's return value, so processes
     can wait on one another.
+
+    Bookkeeping events (bootstrap, relay, interrupt) reuse label strings
+    precomputed once per process — they are scheduled on every resume
+    from an already-processed event, and per-event f-string formatting
+    shows up in profiles (see ``docs/performance.md``).
     """
+
+    __slots__ = ("_generator", "_waiting_on", "_relay_name")
 
     def __init__(self, sim, generator, name=None):
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
@@ -19,44 +26,75 @@ class Process(Event):
             raise TypeError(f"process body must be a generator, got {generator!r}")
         self._generator = generator
         self._waiting_on = None
+        self._relay_name = self._name + ":relay"
         # Kick off on the next schedule slot at the current time.
-        bootstrap = Event(sim, name=f"{self.name}:start")
+        bootstrap = Event(sim, name=self._name + ":start")
         bootstrap.callbacks.append(self._resume)
-        bootstrap._state = "triggered"
+        bootstrap._state = TRIGGERED
         sim._schedule(bootstrap, priority=sim.PRIORITY_URGENT)
 
     @property
     def is_alive(self):
-        return not self.triggered
+        return self._state == PENDING
 
     def interrupt(self, cause=None):
         """Throw :class:`Interrupted` into the process at its yield point."""
-        if self.triggered:
+        if self._state != PENDING:
             return
         target = self._waiting_on
         if target is not None and self._resume in target.callbacks:
             target.callbacks.remove(self._resume)
         self._waiting_on = None
-        wakeup = Event(self.sim, name=f"{self.name}:interrupt")
+        wakeup = Event(self.sim, name=self._name + ":interrupt")
         wakeup.callbacks.append(
             lambda ev: self._step(Interrupted(cause), throw=True)
         )
-        wakeup._state = "triggered"
+        wakeup._state = TRIGGERED
         self.sim._schedule(wakeup, priority=self.sim.PRIORITY_URGENT)
 
     # -- internal -------------------------------------------------------
 
     def _resume(self, event):
-        if self.triggered:
+        # The callback attached to every event a process waits on; this
+        # is the single hottest function in a simulation, so the common
+        # send path of _step is merged in rather than called (one frame
+        # per event retired). Behaviour is identical to
+        # ``self._step(event._value, throw=False)``.
+        if self._state != PENDING:
             return
         self._waiting_on = None
         if event._exception is not None:
             self._step(event._exception, throw=True)
+            return
+        sim = self.sim
+        previous, sim._active_process = sim._active_process, self
+        try:
+            target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            sim._active_process = previous
+            return
+        except Interrupted as exc:
+            self.fail(exc)
+            sim._active_process = previous
+            return
+        except BaseException:
+            sim._active_process = previous
+            raise
+        sim._active_process = previous
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; expected an Event"
+            )
+        if target._state is PROCESSED:
+            self._relay(target)
         else:
-            self._step(event._value, throw=False)
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
 
     def _step(self, payload, throw):
-        previous, self.sim._active_process = self.sim._active_process, self
+        sim = self.sim
+        previous, sim._active_process = sim._active_process, self
         try:
             if throw:
                 target = self._generator.throw(payload)
@@ -69,20 +107,25 @@ class Process(Event):
             self.fail(exc)
             return
         finally:
-            self.sim._active_process = previous
+            sim._active_process = previous
         if not isinstance(target, Event):
             raise TypeError(
                 f"process {self.name!r} yielded {target!r}; expected an Event"
             )
         self._waiting_on = target
-        if target.processed:
-            # Already-processed events resume the process immediately (at
-            # the current time) via a fresh bookkeeping event.
-            relay = Event(self.sim, name=f"{self.name}:relay")
-            relay.callbacks.append(self._resume)
-            relay._state = "triggered"
-            relay._value = target._value
-            relay._exception = target._exception
-            self.sim._schedule(relay, priority=self.sim.PRIORITY_URGENT)
+        if target._state is PROCESSED:
+            self._relay(target)
         else:
             target.callbacks.append(self._resume)
+
+    def _relay(self, target):
+        # Already-processed events resume the process immediately (at
+        # the current time) via a fresh bookkeeping event.
+        sim = self.sim
+        self._waiting_on = target
+        relay = Event(sim, name=self._relay_name)
+        relay.callbacks.append(self._resume)
+        relay._state = TRIGGERED
+        relay._value = target._value
+        relay._exception = target._exception
+        sim._schedule(relay, priority=sim.PRIORITY_URGENT)

@@ -22,33 +22,40 @@ class Soc:
         self.thermal = thermal
         self.energy = energy if energy is not None else EnergyMeter()
         memory.energy = self.energy
+        # Cluster membership is fixed at assembly; precompute the hot
+        # lookups the scheduler performs on every slice (they were
+        # rebuilt per call and showed up in self-time profiles).
+        self._cores = [core for cluster in clusters for core in cluster.cores]
+        self._core_by_id = {core.core_id: core for core in self._cores}
+        self._big_cluster = max(clusters, key=lambda c: c.perf_index)
+        self._little_cluster = min(clusters, key=lambda c: c.perf_index)
 
     @property
     def cores(self):
         """All cores, little cluster first (Linux cpu numbering style)."""
-        return [core for cluster in self.clusters for core in cluster.cores]
+        return self._cores
 
     @property
     def big_cluster(self):
-        return max(self.clusters, key=lambda c: c.perf_index)
+        return self._big_cluster
 
     @property
     def little_cluster(self):
-        return min(self.clusters, key=lambda c: c.perf_index)
+        return self._little_cluster
 
     @property
     def big_cores(self):
-        return self.big_cluster.cores
+        return self._big_cluster.cores
 
     @property
     def little_cores(self):
-        return self.little_cluster.cores
+        return self._little_cluster.cores
 
     def core(self, core_id):
-        for candidate in self.cores:
-            if candidate.core_id == core_id:
-                return candidate
-        raise KeyError(f"no core with id {core_id}")
+        try:
+            return self._core_by_id[core_id]
+        except KeyError:
+            raise KeyError(f"no core with id {core_id}") from None
 
     def accelerator(self, kind):
         """Look up an accelerator by kind: ``gpu`` or ``dsp``/``npu``."""

@@ -15,6 +15,7 @@ latency growth in the paper's Fig. 9.
 from repro.sim import units
 from repro.sim.resources import Resource
 from repro.soc import params
+from repro.soc.cost_tables import build_table, lookup_table
 
 
 _RATE_BY_KIND = {
@@ -58,7 +59,15 @@ class Dsp:
         return compute_us + params.DSP_OP_DISPATCH_US
 
     def graph_time_us(self, ops, dtype):
-        return sum(self.op_time_us(op, dtype) for op in ops)
+        """Memoized per ``(scale, dtype, ops)``; bit-equal to the
+        inline sum (see :mod:`repro.soc.cost_tables`)."""
+        config = ("dsp", self.scale, dtype)
+        table = lookup_table(config, ops)
+        if table is None:
+            table = build_table(
+                config, ops, [self.op_time_us(op, dtype) for op in ops]
+            )
+        return table.total_us
 
     def map_process(self, process_id):
         """Record a FastRPC process mapping; True when newly created."""

@@ -9,6 +9,7 @@ ramp-up penalty at each burst, while a tight benchmark loop stays pinned
 at the top OPP.
 """
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 
@@ -23,6 +24,15 @@ class OppTable:
             raise ValueError("OPP table must not be empty")
         if list(self.frequencies_khz) != sorted(self.frequencies_khz):
             raise ValueError("OPP table must be sorted ascending")
+        # Governor lookups run every sampling window; cache the level
+        # index so step_towards avoids a linear scan per update. The
+        # table is frozen, hence object.__setattr__.
+        index_by_khz = {}
+        for index, freq in enumerate(self.frequencies_khz):
+            # First occurrence wins, matching list.index on a table
+            # with (pathological) duplicate levels.
+            index_by_khz.setdefault(freq, index)
+        object.__setattr__(self, "_index_by_khz", index_by_khz)
 
     @property
     def min_khz(self):
@@ -34,11 +44,11 @@ class OppTable:
 
     def for_capacity(self, fraction):
         """Lowest OPP providing at least ``fraction`` of max capacity."""
-        target = max(0.0, min(1.0, fraction)) * self.max_khz
-        for freq in self.frequencies_khz:
-            if freq >= target:
-                return freq
-        return self.max_khz
+        levels = self.frequencies_khz
+        target = max(0.0, min(1.0, fraction)) * levels[-1]
+        # Binary search for the first level >= target; target never
+        # exceeds the top OPP, so the index is always in range.
+        return levels[bisect_left(levels, target)]
 
     def ceiling_for(self, fraction):
         """Highest OPP not exceeding ``fraction`` of max capacity."""
@@ -53,10 +63,11 @@ class OppTable:
         jumping straight to the target frequency.
         """
         levels = self.frequencies_khz
-        if current not in levels:
+        index = self._index_by_khz.get(current)
+        if index is None:
             # Snap to the nearest level first.
             current = min(levels, key=lambda f: abs(f - current))
-        index = levels.index(current)
+            index = self._index_by_khz[current]
         if target > current and index + 1 < len(levels):
             return levels[index + 1]
         if target < current and index > 0:

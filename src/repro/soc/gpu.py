@@ -10,6 +10,7 @@ buffers, which is the behaviour relevant to the paper.
 from repro.sim import units
 from repro.sim.resources import Resource
 from repro.soc import params
+from repro.soc.cost_tables import build_table, lookup_table
 
 
 #: Map from op compute class to effective fp32 GFLOP/s on the reference GPU.
@@ -44,8 +45,19 @@ class Gpu:
         return compute_us + params.GPU_OP_DISPATCH_US
 
     def graph_time_us(self, ops, dtype):
-        """Total time to execute a delegated partition."""
-        return sum(self.op_time_us(op, dtype) for op in ops)
+        """Total time to execute a delegated partition.
+
+        Memoized per ``(scale, dtype, ops)`` — two GPUs with the same
+        scale price identically, so the key is the pricing parameters,
+        not the instance (see :mod:`repro.soc.cost_tables`).
+        """
+        config = ("gpu", self.scale, dtype)
+        table = lookup_table(config, ops)
+        if table is None:
+            table = build_table(
+                config, ops, [self.op_time_us(op, dtype) for op in ops]
+            )
+        return table.total_us
 
     @property
     def init_time_us(self):

@@ -42,6 +42,12 @@ class EnergyMeter:
     dram_uj: float = 0.0
     #: Per-thread-label attribution of CPU energy.
     by_label: dict = field(default_factory=dict)
+    #: Busy-power class per core id; a core's cluster membership and
+    #: perf index never change, so the little-vs-big test in
+    #: :meth:`add_cpu_slice` is resolved once per core.
+    _busy_w_by_core: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def total_uj(self):
@@ -49,13 +55,22 @@ class EnergyMeter:
 
     # Watts * microseconds == microjoules (units.uj_from_w_us).
 
-    def add_cpu_slice(self, core, duration_us, label=None):
-        """Energy for one scheduler slice on ``core`` at its current OPP."""
-        fraction = core.cluster.governor.speed_fraction
-        if core.cluster.name == "little" or core.perf_index < 0.6:
-            busy_w = LITTLE_CORE_BUSY_W
-        else:
-            busy_w = BIG_CORE_BUSY_W
+    def add_cpu_slice(self, core, duration_us, label=None, fraction=None):
+        """Energy for one scheduler slice on ``core`` at its current OPP.
+
+        ``fraction`` lets the scheduler pass the OPP speed fraction it
+        already computed for the slice instead of re-deriving it here
+        (the value is identical: ``current_khz / max_khz``).
+        """
+        if fraction is None:
+            fraction = core.cluster.governor.speed_fraction
+        busy_w = self._busy_w_by_core.get(core.core_id)
+        if busy_w is None:
+            if core.cluster.name == "little" or core.perf_index < 0.6:
+                busy_w = LITTLE_CORE_BUSY_W
+            else:
+                busy_w = BIG_CORE_BUSY_W
+            self._busy_w_by_core[core.core_id] = busy_w
         power_w = busy_w * fraction ** 3
         energy = units.uj_from_w_us(power_w, duration_us)
         self.cpu_uj += energy

@@ -38,7 +38,7 @@ def test_probe_records_span_with_meta_and_simulated_time():
     sim = Simulator(seed=0, trace=True)
 
     def body():
-        with probe(sim, "mytrack", "phase", detail=42):
+        with probe(sim, "mytrack", "phase", {"detail": 42}):
             yield sim.timeout(100.0)
 
     sim.process(body())
@@ -80,7 +80,7 @@ def test_probe_closes_span_and_tags_error_on_exception():
 
 def test_instant_and_counter_record_when_tracing_on():
     sim = Simulator(seed=0, trace=True)
-    instant(sim, "tick", detail=1)
+    instant(sim, "tick", {"detail": 1})
     counter(sim, "widgets", 3)
     assert sim.trace.marks[0][1] == "tick"
     assert sim.trace.counters["widgets"] == [(0.0, 3)]

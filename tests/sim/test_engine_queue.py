@@ -1,0 +1,201 @@
+"""Event-queue semantics the optimized run loops must preserve.
+
+The engine's inlined drain loops, lazy cancellation, and lazily-rendered
+event names (see ``docs/performance.md``) are all required to be
+*observably free*: same popped-event stream, same timestamps, same
+labels. These tests pin the semantics the optimizations lean on.
+"""
+
+import gc
+
+import pytest
+
+from repro.analysis.engine_bench import fleet_replay_digest
+from repro.sim import Simulator
+from repro.sim.events import Event, Timeout
+
+
+def _pop_order(sim):
+    order = []
+    while True:
+        before = sim.events_processed
+        if not sim.step():
+            return order
+        assert sim.events_processed == before + 1
+
+
+# -- ordering -----------------------------------------------------------
+
+
+def test_same_time_orders_by_priority_then_sequence():
+    sim = Simulator(seed=0)
+    order = []
+    normal_a = sim.event(name="normal_a")
+    normal_a.callbacks.append(lambda e: order.append(e.name))
+    normal_a.succeed()
+    urgent = sim.event(name="urgent")
+    urgent.callbacks.append(lambda e: order.append(e.name))
+    urgent._state = "triggered"
+    sim._schedule(urgent, priority=sim.PRIORITY_URGENT)
+    normal_b = sim.event(name="normal_b")
+    normal_b.callbacks.append(lambda e: order.append(e.name))
+    normal_b.succeed()
+    sim.run()
+    # Urgent first despite being scheduled second; equal (time, priority)
+    # resolves by schedule order (sequence), not creation order.
+    assert order == ["urgent", "normal_a", "normal_b"]
+
+
+def test_sequence_assigned_at_schedule_time_not_creation_time():
+    sim = Simulator(seed=0)
+    order = []
+    late = sim.event(name="created_first_scheduled_last")
+    early = sim.event(name="created_last_scheduled_first")
+    early.callbacks.append(lambda e: order.append(e.name))
+    late.callbacks.append(lambda e: order.append(e.name))
+    early.succeed()
+    late.succeed()
+    sim.run()
+    assert order == [
+        "created_last_scheduled_first", "created_first_scheduled_last",
+    ]
+
+
+def test_timeouts_fire_in_time_order_with_fifo_ties():
+    sim = Simulator(seed=0)
+    fired = []
+    for index, delay in enumerate((30.0, 10.0, 10.0, 20.0)):
+        sim.schedule_callback(
+            delay, (lambda i: lambda _e: fired.append(i))(index)
+        )
+    sim.run()
+    assert fired == [1, 2, 3, 0]
+    assert sim.now == 30.0
+
+
+# -- lazy cancellation --------------------------------------------------
+
+
+def test_cancel_is_lazy_and_skipped_by_every_loop():
+    sim = Simulator(seed=0)
+    fired = []
+    keep = sim.schedule_callback(10.0, lambda _e: fired.append("keep"))
+    drop = sim.schedule_callback(5.0, lambda _e: fired.append("drop"))
+    assert len(sim._queue) == 2
+    sim.cancel(drop)
+    # Tombstoned, not removed: the heap still holds the entry.
+    assert len(sim._queue) == 2
+    assert sim.peek() == 10.0  # peek discards the cancelled head
+    sim.run()
+    assert fired == ["keep"]
+    # The cancelled event never advanced the clock past the survivor...
+    assert sim.now == 10.0
+    # ...never counted as processed, and never ran callbacks.
+    assert sim.events_processed == 1
+    assert drop._state != "processed"
+    assert keep._state == "processed"
+
+
+def test_cancelled_event_is_invisible_to_run_until_event():
+    sim = Simulator(seed=0)
+    fired = []
+    doomed = sim.schedule_callback(1.0, lambda _e: fired.append("doomed"))
+    target = sim.schedule_callback(2.0, lambda _e: fired.append("target"))
+    sim.cancel(doomed)
+    sim.run(until=target)
+    assert fired == ["target"]
+
+
+def test_cancel_processed_event_raises():
+    sim = Simulator(seed=0)
+    timeout = sim.timeout(1.0)
+    sim.run()
+    with pytest.raises(RuntimeError):
+        sim.cancel(timeout)
+
+
+# -- lazy default names -------------------------------------------------
+
+
+def test_timeout_default_name_renders_lazily_and_byte_identically():
+    sim = Simulator(seed=0)
+    timeout = Timeout(sim, 3000.0)
+    # No string has been rendered yet...
+    assert timeout._name is None
+    # ...and the lazy rendering is byte-identical to the eager form the
+    # replay digest was built on.
+    assert timeout.name == f"timeout({3000.0})"
+    assert timeout.name == "timeout(3000.0)"
+
+
+def test_timeout_explicit_name_wins_over_default():
+    sim = Simulator(seed=0)
+    assert Timeout(sim, 5.0, name="slice").name == "slice"
+
+
+def test_plain_event_default_name_is_none():
+    sim = Simulator(seed=0)
+    assert Event(sim).name is None
+
+
+# -- run-loop housekeeping ----------------------------------------------
+
+
+def test_run_restores_gc_state_even_on_callback_error():
+    assert gc.isenabled()
+    sim = Simulator(seed=0)
+
+    def boom(_event):
+        assert not gc.isenabled(), "drain loop should pause cyclic GC"
+        raise ValueError("boom")
+
+    sim.schedule_callback(1.0, boom)
+    with pytest.raises(ValueError):
+        sim.run()
+    assert gc.isenabled()
+
+
+def test_run_leaves_disabled_gc_disabled():
+    sim = Simulator(seed=0)
+    sim.timeout(1.0)
+    gc.disable()
+    try:
+        sim.run()
+        assert not gc.isenabled()
+    finally:
+        gc.enable()
+
+
+def test_processed_event_drops_callback_list():
+    sim = Simulator(seed=0)
+    timeout = sim.timeout(1.0)
+    sim.run()
+    assert timeout.callbacks is None
+    # A late append is a loud error, not a silent no-op.
+    with pytest.raises(AttributeError):
+        timeout.callbacks.append(lambda _e: None)
+
+
+def test_events_processed_counts_every_pop():
+    sim = Simulator(seed=0)
+    for delay in (1.0, 2.0, 3.0):
+        sim.timeout(delay)
+    sim.run()
+    assert sim.events_processed == 3
+
+
+# -- determinism under the sanitizer ------------------------------------
+
+
+def test_seeded_fleet_dual_run_digest_is_stable():
+    """The PR-4 sanitizer sees identical popped-event streams twice.
+
+    ``fleet_replay_digest`` itself runs the workload twice and raises
+    on divergence; calling it twice additionally pins that the digest
+    is stable across repeated in-process measurements (no leaked
+    global state between fleets).
+    """
+    first = fleet_replay_digest(sessions=3, runs=2, seed=0)
+    second = fleet_replay_digest(sessions=3, runs=2, seed=0)
+    assert first == second
+    assert first["events"] > 0
