@@ -1,0 +1,89 @@
+"""CI smoke: SIGKILL a fleet worker mid-run; nothing may change.
+
+The supervision contract (docs/faults.md) is that crash recovery is
+*scheduling only* — a fleet run that loses a worker to the OOM killer
+must still assemble bit-identical session results. This script enforces
+that end to end:
+
+1. recompute the ``fleet_percentiles`` experiment fingerprint and
+   require it to match the committed golden
+   (``results/ENGINE_golden_digests.json``) — the undisturbed engine is
+   byte-stable on this machine;
+2. run the same fleet workload undisturbed (single process) as the
+   reference;
+3. run it again with ``workers=2`` and SIGKILL one pool worker the
+   moment the first session completes;
+4. require the supervisor to have survived (pool respawned) and the
+   killed run's per-session payloads to equal the reference exactly.
+
+Usage: PYTHONPATH=src python benchmarks/kill_worker_smoke.py
+"""
+
+import json
+import multiprocessing
+import os
+import pathlib
+import signal
+import sys
+
+RESULTS = pathlib.Path(__file__).resolve().parent / "results"
+GOLDEN = RESULTS / "ENGINE_golden_digests.json"
+
+#: Must match the FINGERPRINT_EXPERIMENTS entry for fleet_percentiles.
+WORKLOAD = {"sessions": 12, "runs": 4, "seed": 0}
+
+
+def main():
+    from repro.analysis.engine_bench import experiment_fingerprint
+    from repro.fleet import run_fleet
+
+    golden = json.loads(GOLDEN.read_text())
+    fresh = experiment_fingerprint("fleet_percentiles", **WORKLOAD)
+    pinned = golden["experiments"]["fleet_percentiles"]
+    if fresh != pinned:
+        print(f"fleet_percentiles fingerprint drifted: {fresh} != {pinned}")
+        return 1
+    print(f"golden fingerprint intact: {fresh[:16]}...")
+
+    reference = run_fleet(workers=1, **WORKLOAD)
+    reference_payloads = [result.to_dict() for result in reference]
+
+    state = {"killed": False}
+
+    def kill_one_worker(_spec, _payload):
+        if state["killed"]:
+            return
+        state["killed"] = True
+        victims = sorted(
+            child.pid for child in multiprocessing.active_children()
+        )
+        if not victims:
+            return
+        print(f"SIGKILL worker pid {victims[0]} (of {len(victims)})")
+        os.kill(victims[0], signal.SIGKILL)
+
+    disturbed = run_fleet(
+        workers=2, on_session=kill_one_worker, backoff_base_s=0.01,
+        **WORKLOAD,
+    )
+    print(f"supervision: {disturbed.supervision}")
+    if not state["killed"]:
+        print("smoke never killed a worker — nothing was tested")
+        return 1
+    if disturbed.supervision.get("respawns", 0) < 1:
+        print("worker was killed but the supervisor never respawned")
+        return 1
+
+    disturbed_payloads = [result.to_dict() for result in disturbed]
+    if disturbed_payloads != reference_payloads:
+        print("killed run diverged from the undisturbed reference")
+        return 1
+    print(
+        f"ok: {len(disturbed_payloads)} sessions bit-identical across "
+        "a mid-run worker SIGKILL"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -128,6 +128,10 @@ class LintConfig:
         # The engine perf harness measures the host by design:
         # sessions/sec and events/sec are wall-clock metrics.
         "*/analysis/engine_bench.py",
+        # The fleet supervisor lives on the host side of the process
+        # boundary: worker deadlines and crash backoff are wall-clock
+        # because the simulated clock cannot observe a wedged worker.
+        "*/fleet/supervisor.py",
     )
     export_modules: tuple = (
         "*/observability/*",

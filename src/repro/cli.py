@@ -148,6 +148,17 @@ def _cmd_summary(_args):
     return 0 if holds else 1
 
 
+def _check_failure_rate(failure_rate, max_failure_rate):
+    """Shared ``--max-failure-rate`` gate for fleet-shaped commands."""
+    if max_failure_rate is None or failure_rate <= max_failure_rate:
+        return 0
+    print(
+        f"error: failure rate {failure_rate:.1%} exceeds "
+        f"--max-failure-rate {max_failure_rate:.1%}"
+    )
+    return 1
+
+
 def _cmd_fleet(args):
     from repro.fleet import aggregate_fleet, run_fleet
 
@@ -158,13 +169,26 @@ def _cmd_fleet(args):
         cache_dir=args.cache_dir,
         runs=args.runs,
         verify_cache=args.verify_cache,
+        journal=args.journal,
+        session_timeout_s=args.session_timeout,
     )
     print(aggregate_fleet(fleet).to_experiment_result().render())
     print(
         f"\nsessions: {len(fleet)}  simulated: {fleet.simulated}  "
-        f"cache hits: {fleet.cache_hits}  workers: {fleet.workers}"
+        f"cache hits: {fleet.cache_hits}  "
+        f"journal hits: {fleet.journal_hits}  workers: {fleet.workers}"
     )
-    return 0
+    supervision = fleet.supervision
+    if supervision and any(supervision.values()):
+        print(
+            "supervision: "
+            + "  ".join(
+                f"{key}: {value}"
+                for key, value in sorted(supervision.items())
+                if value
+            )
+        )
+    return _check_failure_rate(fleet.failure_rate, args.max_failure_rate)
 
 
 def _cmd_chaos(args):
@@ -191,7 +215,9 @@ def _cmd_chaos(args):
     if any(count == 0 for count in ok_counts):
         print("error: a swept rate produced zero completed sessions")
         return 1
-    return 0
+    total = sum(ok_counts) + sum(failed_counts)
+    failure_rate = sum(failed_counts) / total if total else 0.0
+    return _check_failure_rate(failure_rate, args.max_failure_rate)
 
 
 def _cmd_serve(args):
@@ -215,6 +241,12 @@ def _cmd_serve(args):
         max_delay_ms=args.delay,
         devices=args.devices,
         fault_rate=args.fault_rate,
+        backend_fault_rate=args.backend_fault_rate,
+        ssr_storm_ms=args.ssr_storm,
+        ssr_storm_backends=args.ssr_storm_backends,
+        breakers=not args.no_breakers,
+        brownout_high=args.brownout_high,
+        brownout_low=args.brownout_low,
         seed=args.seed,
     )
     result = run_service(config, population=population)
@@ -531,6 +563,21 @@ def build_parser():
         help="re-simulate cache hits and require identical result "
              "digests (also on under REPRO_SANITIZE=1)",
     )
+    fleet_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append-only run journal; an interrupted run resumed with "
+             "the same journal re-simulates nothing it finished",
+    )
+    fleet_parser.add_argument(
+        "--session-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline per session; a hung worker is killed "
+             "and the session retried (docs/faults.md)",
+    )
+    fleet_parser.add_argument(
+        "--max-failure-rate", type=float, default=None, metavar="FRACTION",
+        help="exit non-zero when more than this fraction of sessions "
+             "finish with a structured error",
+    )
 
     chaos_parser = sub.add_parser(
         "chaos",
@@ -555,6 +602,11 @@ def build_parser():
         metavar="RATE",
         help="per-call fault probability to sweep (repeatable; the 0.0 "
              "baseline is always included)",
+    )
+    chaos_parser.add_argument(
+        "--max-failure-rate", type=float, default=None, metavar="FRACTION",
+        help="exit non-zero when more than this fraction of sessions "
+             "across the sweep failed",
     )
 
     from repro.service import ARRIVAL_KINDS, POLICIES
@@ -605,6 +657,34 @@ def build_parser():
         help="per-call fault probability during calibration; nonzero "
              "switches to the chaos population so the no-recovery "
              "vendor slice is in the pool (docs/faults.md)",
+    )
+    serve_parser.add_argument(
+        "--backend-fault-rate", type=float, default=0.0, metavar="RATE",
+        help="per-batch fault probability at each serving backend "
+             "(failed batches redispatch; breakers eject repeat "
+             "offenders, docs/service.md)",
+    )
+    serve_parser.add_argument(
+        "--ssr-storm", type=float, default=None, metavar="MS",
+        help="inject a subsystem-restart storm at this simulated time",
+    )
+    serve_parser.add_argument(
+        "--ssr-storm-backends", type=int, default=None, metavar="N",
+        help="how many backends the storm hits (default: all)",
+    )
+    serve_parser.add_argument(
+        "--no-breakers", action="store_true",
+        help="disable the per-backend circuit breakers",
+    )
+    serve_parser.add_argument(
+        "--brownout-high", type=int, default=None, metavar="N",
+        help="enter brownout (degraded-model execution) at this many "
+             "outstanding requests",
+    )
+    serve_parser.add_argument(
+        "--brownout-low", type=int, default=None, metavar="N",
+        help="exit brownout at this many outstanding requests "
+             "(default: half of --brownout-high)",
     )
     serve_parser.add_argument("--seed", type=int, default=0)
     serve_parser.add_argument(

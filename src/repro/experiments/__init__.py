@@ -23,6 +23,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     fig10,
     fig11,
     fleet,
+    resilience,
     service_goodput,
     table1,
     table2,

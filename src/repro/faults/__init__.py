@@ -29,6 +29,7 @@ from repro.faults.plan import (
     FaultInjector,
     FaultPlan,
     FaultSpec,
+    derived_seed,
 )
 from repro.faults.recovery import (
     NO_RETRY,
@@ -53,5 +54,6 @@ __all__ = [
     "DegradationReport",
     "InvokeDegradation",
     "RetryPolicy",
+    "derived_seed",
     "fault_counters",
 ]

@@ -65,6 +65,20 @@ class FaultSpec:
             )
 
 
+def derived_seed(seed, salt):
+    """A deterministic child seed from ``(seed, salt)``.
+
+    Lets independent consumers (one fault plan per service backend,
+    say) derive non-colliding seeds from one root without sharing any
+    RNG state — the same stateless-hash discipline as the Bernoulli
+    sampling below.
+    """
+    digest = hashlib.sha256(
+        f"faultseed:{seed}:{salt}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
 def _unit_draw(seed, index, salt):
     """Deterministic uniform in [0, 1) from (seed, call index, salt)."""
     digest = hashlib.sha256(

@@ -24,6 +24,13 @@ from repro.fleet.population import (
     resolve_workload,
 )
 from repro.fleet.runner import FleetResult, run_fleet
+from repro.fleet.supervisor import (
+    QUARANTINE_ERROR,
+    RunJournal,
+    Supervisor,
+    SupervisorStats,
+    run_key_for,
+)
 from repro.fleet.session import (
     SessionResult,
     SessionSpec,
@@ -38,16 +45,21 @@ __all__ = [
     "DevicePopulation",
     "FleetAggregate",
     "FleetResult",
+    "QUARANTINE_ERROR",
     "ResultCache",
+    "RunJournal",
     "SessionResult",
     "SessionSpec",
     "SliceStats",
+    "Supervisor",
+    "SupervisorStats",
     "aggregate_fleet",
     "chaos_population",
     "expand_population",
     "paper_population",
     "resolve_workload",
     "run_fleet",
+    "run_key_for",
     "session_payload_digest",
     "simulate_session",
     "simulate_session_payload",

@@ -43,24 +43,32 @@ class ResultCache:
         """The cached payload dict for ``key``, or ``None``.
 
         A corrupt (torn/truncated) entry counts as a miss and is
-        removed so the slot can be rewritten.
+        removed so the slot can be rewritten. Eviction is safe under
+        concurrent runs: a decode failure is re-read once first (an
+        ``os.replace`` by a parallel writer is atomic, so its fresh
+        entry parses on the second attempt instead of being evicted),
+        and the unlink itself tolerates the entry already being gone
+        (``missing_ok`` semantics — two runs may race to evict).
         """
         path = self._path(key)
-        try:
-            with open(path) as handle:
-                payload = json.load(handle)
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except (json.JSONDecodeError, OSError):
-            self.misses += 1
+        for attempt in (0, 1):
             try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
-        self.hits += 1
-        return payload
+                with open(path) as handle:
+                    payload = json.load(handle)
+            except FileNotFoundError:
+                self.misses += 1
+                return None
+            except (json.JSONDecodeError, OSError):
+                if attempt == 0:
+                    continue
+                self.misses += 1
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    pass
+                return None
+            self.hits += 1
+            return payload
 
     def put(self, key, payload):
         """Atomically persist ``payload`` under ``key``."""

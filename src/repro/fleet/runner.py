@@ -1,15 +1,18 @@
-"""Fleet execution: deterministic sharding over a worker pool + cache.
+"""Fleet execution: deterministic sharding over a supervised pool.
 
 The parent expands the population serially (cheap, deterministic), then
-farms cache-miss sessions out to a ``ProcessPoolExecutor``. Each session
-is an independent simulation with its own SeedSequence-derived root
-seed, so sharding is trivially safe: results are assembled back in
-session-id order and are bit-identical whatever the worker count or
-completion order. Cache hits never re-enter a worker.
+farms cache-miss sessions out to a
+:class:`~repro.fleet.supervisor.Supervisor`-driven worker pool. Each
+session is an independent simulation with its own SeedSequence-derived
+root seed, so sharding is trivially safe: results are assembled back in
+session-id order and are bit-identical whatever the worker count,
+completion order, or crash/kill/timeout interleaving. Cache hits never
+re-enter a worker; successful payloads stream into the cache (and the
+optional run journal) the moment they complete, so an interrupted run
+keeps its finished work.
 """
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.fleet.cache import CacheDigestError, ResultCache
@@ -19,6 +22,7 @@ from repro.fleet.session import (
     session_payload_digest,
     simulate_session_payload,
 )
+from repro.fleet.supervisor import RunJournal, Supervisor, run_key_for
 
 
 @dataclass
@@ -28,16 +32,23 @@ class FleetResult:
     The fleet is allowed to be *partial*: sessions whose simulation
     raised (e.g. an un-recovered injected fault killing a vendor-runtime
     session) appear as :class:`SessionResult`\\ s carrying a structured
-    ``error`` instead of runs. ``ok_results`` / ``failures`` split them.
+    ``error`` instead of runs — as do sessions the supervisor
+    quarantined after repeated worker crashes. ``ok_results`` /
+    ``failures`` split them.
     """
 
     seed: int
     workers: int
     results: list = field(default_factory=list)
-    #: Sessions actually simulated this run (cache misses).
+    #: Sessions actually simulated this run (cache + journal misses).
     simulated: int = 0
     #: Sessions served from the on-disk cache.
     cache_hits: int = 0
+    #: Sessions resumed from an interrupted run's journal.
+    journal_hits: int = 0
+    #: Supervision ledger (crashes survived, respawns, quarantines) —
+    #: scheduling facts only; never payload content.
+    supervision: dict = field(default_factory=dict)
 
     def __len__(self):
         return len(self.results)
@@ -55,19 +66,19 @@ class FleetResult:
         """Sessions that died with a structured error."""
         return [result for result in self.results if not result.ok]
 
-
-def _map_payloads(specs, workers):
-    """Run ``simulate_session_payload`` over specs, pooled or in-process."""
-    payloads = [spec.to_dict() for spec in specs]
-    if workers > 1 and len(payloads) > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(simulate_session_payload, payloads))
-    return [simulate_session_payload(payload) for payload in payloads]
+    @property
+    def failure_rate(self):
+        """Fraction of sessions that ended in a structured error."""
+        if not self.results:
+            return 0.0
+        return len(self.failures) / len(self.results)
 
 
 def run_fleet(population=None, sessions=64, workers=1, seed=0,
               cache_dir=None, runs=None, fault_rate=None,
-              session_retries=1, verify_cache=None):
+              session_retries=1, verify_cache=None, journal=None,
+              session_timeout_s=None, max_crashes=3, backoff_base_s=0.05,
+              backoff_cap_s=2.0, on_session=None):
     """Simulate a device population; returns a :class:`FleetResult`.
 
     Parameters
@@ -85,7 +96,9 @@ def run_fleet(population=None, sessions=64, workers=1, seed=0,
     cache_dir:
         Optional directory for the content-hash result cache. Failed
         sessions are never cached: a later run with the fault plan
-        changed (or the bug fixed) must re-simulate them.
+        changed (or the bug fixed) must re-simulate them. Successful
+        payloads are written as they complete, so a crash mid-run keeps
+        every finished session.
     runs:
         Override the population's per-session iteration count.
     fault_rate:
@@ -95,7 +108,8 @@ def run_fleet(population=None, sessions=64, workers=1, seed=0,
         is recorded as a structured error result. Deterministic injected
         faults fail identically on retry (and the error records how many
         attempts were burned); the bound exists for transient host-level
-        failures in worker processes.
+        failures in worker processes. Failed sessions requeue
+        individually — one retrying session never blocks the rest.
     verify_cache:
         Sanitizer hook: re-simulate every cache hit and require its
         :func:`~repro.fleet.session.session_payload_digest` to match
@@ -103,6 +117,24 @@ def run_fleet(population=None, sessions=64, workers=1, seed=0,
         silently change fleet percentiles
         (:class:`~repro.fleet.cache.CacheDigestError` otherwise).
         ``None`` defers to the ``REPRO_SANITIZE`` environment variable.
+    journal:
+        Optional path to a :class:`~repro.fleet.supervisor.RunJournal`
+        file. Finished sessions (including structured failures) are
+        appended as they complete; re-running the same fleet against
+        the same journal resumes instead of re-simulating.
+    session_timeout_s:
+        Per-session wall-clock deadline enforced by the supervisor when
+        ``workers > 1``; a hung worker is killed and the session
+        requeued with capped exponential backoff.
+    max_crashes:
+        Worker losses (crashes + deadline kills) a single session may
+        cause before it is quarantined as a structured error.
+    backoff_base_s / backoff_cap_s:
+        Supervisor re-submit backoff after a strike.
+    on_session:
+        Progress callback ``(spec, payload)`` fired as each pending
+        session produces its final payload (completion order — never
+        let it shape results).
     """
     if population is None:
         population = paper_population()
@@ -139,33 +171,63 @@ def run_fleet(population=None, sessions=64, workers=1, seed=0,
         else:
             pending.append(spec)
 
-    attempts = {spec.session_id: 0 for spec in pending}
-    payload_by_id = {}
-    remaining = list(pending)
-    for round_index in range(session_retries + 1):
-        if not remaining:
-            break
-        retry = []
-        for spec, payload in zip(remaining, _map_payloads(remaining, workers)):
-            attempts[spec.session_id] += 1
-            if "error" in payload and round_index < session_retries:
-                retry.append(spec)
+    journal_hits = 0
+    run_journal = None
+    if journal is not None:
+        run_journal = RunJournal(
+            journal, run_key_for(specs, session_retries=session_retries)
+        )
+        resumed = []
+        for spec in pending:
+            payload = run_journal.recorded.get(spec.digest())
+            if payload is not None:
+                by_id[spec.session_id] = SessionResult.from_dict(payload)
+                journal_hits += 1
             else:
-                payload_by_id[spec.session_id] = payload
-        remaining = retry
+                resumed.append(spec)
+        pending = resumed
+
+    spec_by_id = {spec.session_id: spec for spec in pending}
+    supervisor = Supervisor(
+        workers=workers,
+        session_retries=session_retries,
+        session_timeout_s=session_timeout_s,
+        max_crashes=max_crashes,
+        backoff_base_s=backoff_base_s,
+        backoff_cap_s=backoff_cap_s,
+    )
+
+    def _on_result(session_id, payload):
+        # Streamed per completed session: a crash one session later
+        # loses nothing that already finished.
+        spec = spec_by_id[session_id]
+        if "error" not in payload and cache is not None:
+            cache.put(spec.digest(), payload)
+        if run_journal is not None:
+            run_journal.record(spec.digest(), payload)
+        if on_session is not None:
+            on_session(spec, payload)
+
+    try:
+        payload_by_id = supervisor.run(
+            [(spec.session_id, spec.to_dict()) for spec in pending],
+            on_result=_on_result,
+        )
+    finally:
+        if run_journal is not None:
+            run_journal.close()
 
     for spec in pending:
-        payload = payload_by_id[spec.session_id]
-        if "error" in payload:
-            payload["error"]["attempts"] = attempts[spec.session_id]
-        elif cache is not None:
-            cache.put(spec.digest(), payload)
-        by_id[spec.session_id] = SessionResult.from_dict(payload)
+        by_id[spec.session_id] = SessionResult.from_dict(
+            payload_by_id[spec.session_id]
+        )
 
     return FleetResult(
         seed=seed,
         workers=workers,
         results=[by_id[spec.session_id] for spec in specs],
         simulated=len(pending),
-        cache_hits=len(specs) - len(pending),
+        cache_hits=len(specs) - len(pending) - journal_hits,
+        journal_hits=journal_hits,
+        supervision=supervisor.stats.to_dict(),
     )

@@ -37,6 +37,12 @@ from repro.service.backends import (
     pool_capacity_rps,
 )
 from repro.service.batcher import DynamicBatcher
+from repro.service.health import (
+    BreakerConfig,
+    BrownoutController,
+    CircuitBreaker,
+    HealthMonitor,
+)
 from repro.service.request import Request
 from repro.service.router import Backend, Router
 from repro.service.simulate import ServiceConfig, ServiceResult, run_service
@@ -50,8 +56,12 @@ __all__ = [
     "AdmissionQueue",
     "Backend",
     "BackendProfile",
+    "BreakerConfig",
+    "BrownoutController",
+    "CircuitBreaker",
     "DiurnalArrivals",
     "DynamicBatcher",
+    "HealthMonitor",
     "PoissonArrivals",
     "Request",
     "Router",

@@ -20,6 +20,9 @@ OUTCOME_OK = "ok"
 OUTCOME_DROPPED = "dropped"
 #: Admission queue full, policy ``reject``: failed fast with an error.
 OUTCOME_REJECTED = "rejected"
+#: Admitted but every serving attempt failed (backend faults exhausted
+#: the redispatch budget).
+OUTCOME_FAILED = "failed"
 
 #: SLO-miss attribution buckets (the dominant latency component).
 MISS_QUEUEING = "queueing"
@@ -41,6 +44,8 @@ class Request:
     #: (cheaper) model variant instead of being turned away.
     degraded: bool = False
     outcome: str = OUTCOME_PENDING
+    #: Times this request was re-routed after a backend batch failed.
+    redispatches: int = 0
     backend_id: int = None
     #: Size of the batch this request was served in.
     batch_size: int = 0
@@ -104,6 +109,7 @@ class Request:
             ),
             "outcome": self.outcome,
             "degraded": self.degraded,
+            "redispatches": self.redispatches,
             "backend_id": self.backend_id,
             "batch_size": self.batch_size,
             "latency_ms": (

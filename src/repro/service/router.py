@@ -12,24 +12,41 @@ Queue depth and in-flight counts are exported as observability counter
 spans (``service:depth``, ``service:backend<N>:depth``) whenever the
 service simulator records a trace, so backpressure dynamics are
 visible in the same Perfetto timeline as everything else.
+
+Backends can also *fail*: given a per-backend
+:class:`~repro.faults.FaultInjector`, each batch draws from the fault
+plan, and a faulted batch burns its full service time and then
+completes nothing — the requests go back to the router for redispatch,
+the backend's :class:`~repro.service.health.HealthMonitor` breaker
+records the failure (ejecting the backend from routing once it trips),
+and an SSR fault additionally costs the backend a reboot window.
 """
 
-from repro.observability.probes import counter
-from repro.service.request import OUTCOME_OK
+from repro.faults import FAULT_SSR
+from repro.observability.probes import counter, instant
+from repro.service.request import OUTCOME_FAILED, OUTCOME_OK
 
 
 class Backend:
     """One pool member: a batcher plus a serving process."""
 
-    def __init__(self, sim, profile, batcher, on_complete):
+    def __init__(self, sim, profile, batcher, on_complete,
+                 injector=None, health=None, on_failed=None,
+                 ssr_recovery_us=0.0):
         self.sim = sim
         self.profile = profile
         self.batcher = batcher
         self._on_complete = on_complete
+        self.injector = injector
+        self.health = health
+        self._on_failed = on_failed
+        self.ssr_recovery_us = ssr_recovery_us
         #: Requests being served in the current batch.
         self.inflight = 0
         self.served_batches = 0
         self.served_requests = 0
+        self.failed_batches = 0
+        self.failed_requests = 0
         #: Total simulated time this backend spent serving.
         self.busy_us = 0.0
         self._wakeup = None
@@ -85,9 +102,16 @@ class Backend:
         service_us = inference_total_us + self.profile.batch_tax_us(flags)
         start_us = self.sim.now
         self.inflight = len(batch)
+        fault = (
+            self.injector.draw(self.sim.now)
+            if self.injector is not None else None
+        )
         yield self.sim.timeout(
             service_us, name=f"service:batch[{len(batch)}]"
         )
+        if fault is not None:
+            yield from self._fail(batch, fault, service_us)
+            return
         done_us = self.sim.now
         inference_share_us = inference_total_us / len(batch)
         for request in batch:
@@ -117,8 +141,44 @@ class Backend:
             self.sim, f"service:backend{self.profile.backend_id}:depth",
             self.depth,
         )
+        if self.health is not None:
+            self.health.record_success(self.profile.backend_id)
         for request in batch:
             self._on_complete(request)
+
+    def _fail(self, batch, fault, service_us):
+        """A faulted batch: the service time is burned, nothing finishes.
+
+        The requests return to the router for redispatch, the breaker
+        (if any) records the failure, and an SSR fault additionally
+        costs this backend its subsystem-reboot window before it can
+        form another batch.
+        """
+        self.inflight = 0
+        self.busy_us += service_us
+        self.failed_batches += 1
+        self.failed_requests += len(batch)
+        instant(
+            self.sim, f"service:fault:{fault.kind}",
+            {"backend": self.profile.backend_id, "batch": len(batch)},
+        )
+        if self.health is not None:
+            self.health.record_failure(self.profile.backend_id)
+        counter(
+            self.sim, f"service:backend{self.profile.backend_id}:depth",
+            self.depth,
+        )
+        for request in batch:
+            if self._on_failed is not None:
+                self._on_failed(request)
+        if fault.kind == FAULT_SSR and self.ssr_recovery_us > 0:
+            yield self.sim.timeout(
+                self.ssr_recovery_us,
+                name=(
+                    f"service:backend{self.profile.backend_id}"
+                    ":ssr_reboot"
+                ),
+            )
 
     def to_dict(self):
         from repro.sim import units
@@ -132,25 +192,100 @@ class Backend:
 
 
 class Router:
-    """Deterministic join-shortest-queue dispatch over the pool."""
+    """Deterministic join-shortest-queue dispatch over the pool.
 
-    def __init__(self, sim, backends):
+    With a :class:`~repro.service.health.HealthMonitor` attached, JSQ
+    runs over the backends whose breaker admits traffic (open breakers
+    are ejected; half-open ones take bounded probes); with a
+    :class:`~repro.service.health.BrownoutController`, dispatched
+    requests are degraded while the pool's outstanding count is inside
+    a brownout episode. Both are deterministic functions of simulated
+    state, so routing replays identically.
+    """
+
+    def __init__(self, sim, backends, health=None, brownout=None,
+                 redispatch_limit=2, on_failed=None):
         if not backends:
             raise ValueError("router needs at least one backend")
+        if redispatch_limit < 0:
+            raise ValueError(
+                f"redispatch_limit must be >= 0, got {redispatch_limit}"
+            )
         self.sim = sim
         self.backends = list(backends)
+        self.health = health
+        self.brownout = brownout
+        self.redispatch_limit = redispatch_limit
+        self._on_failed = on_failed
+        #: Successful re-routes after backend batch failures.
+        self.redispatches = 0
+        #: Requests that exhausted the redispatch budget.
+        self.failed = 0
 
     @property
     def outstanding(self):
         """Admitted-but-unfinished requests across the pool."""
         return sum(backend.depth for backend in self.backends)
 
-    def dispatch(self, request):
-        """Route to the least-loaded backend; returns it."""
-        target = self.backends[0]
-        for backend in self.backends[1:]:
+    def _candidates(self, exclude_id=None):
+        """Routable backends, pool order (never empty).
+
+        Prefers healthy backends other than ``exclude_id`` (the one
+        that just failed the request), then any healthy backend, then —
+        when every breaker is open — the whole pool: routing must still
+        land somewhere, and the half-open probes find recovery.
+        """
+        if self.health is not None:
+            allowed = [
+                backend for backend in self.backends
+                if self.health.allow(backend.profile.backend_id)
+            ]
+        else:
+            allowed = self.backends
+        if exclude_id is not None:
+            kept = [
+                backend for backend in allowed
+                if backend.profile.backend_id != exclude_id
+            ]
+            if kept:
+                return kept
+        return allowed or self.backends
+
+    def dispatch(self, request, exclude_id=None):
+        """Route to the least-loaded routable backend; returns it."""
+        candidates = self._candidates(exclude_id)
+        target = candidates[0]
+        for backend in candidates[1:]:
             if backend.depth < target.depth:
                 target = backend
+        if self.health is not None:
+            self.health.note_dispatch(target.profile.backend_id)
+        if self.brownout is not None and self.brownout.update(
+            self.outstanding, self.sim
+        ):
+            self.brownout.degrade(request)
         target.enqueue(request)
         counter(self.sim, "service:depth", self.outstanding)
         return target
+
+    def redispatch(self, request):
+        """Re-route a request whose batch faulted, or fail it for good.
+
+        Called by a backend for each member of a failed batch. The
+        request is re-routed away from the backend that failed it while
+        the budget lasts; past ``redispatch_limit`` it finishes as
+        :data:`~repro.service.request.OUTCOME_FAILED`.
+        """
+        request.redispatches += 1
+        if request.redispatches > self.redispatch_limit:
+            request.outcome = OUTCOME_FAILED
+            self.failed += 1
+            instant(
+                self.sim, "service:request_failed",
+                {"request": request.request_id},
+            )
+            if self._on_failed is not None:
+                self._on_failed(request)
+            return None
+        self.redispatches += 1
+        return self.dispatch(request, exclude_id=request.backend_id)

@@ -22,6 +22,14 @@ import math
 from dataclasses import asdict, dataclass, field
 
 from repro.core import percentile
+from repro.faults import (
+    FAULT_SSR,
+    FAULT_TIMEOUT,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    derived_seed,
+)
 from repro.service.admission import (
     POLICY_REJECT,
     TURN_AWAY,
@@ -31,6 +39,11 @@ from repro.service.admission import (
 from repro.service.arrivals import ARRIVAL_KINDS, POISSON, make_arrivals
 from repro.service.backends import build_pool
 from repro.service.batcher import DynamicBatcher
+from repro.service.health import (
+    BreakerConfig,
+    BrownoutController,
+    HealthMonitor,
+)
 from repro.service.request import MISS_BUCKETS, Request
 from repro.service.router import Backend, Router
 from repro.sim import Simulator, units
@@ -64,6 +77,28 @@ class ServiceConfig:
     calibration_runs: int = 3
     #: Per-call fault probability during calibration (chaos variant).
     fault_rate: float = 0.0
+    #: Per-batch fault probability at each *serving* backend (a faulted
+    #: batch burns its service time, completes nothing, and sends its
+    #: requests back to the router).
+    backend_fault_rate: float = 0.0
+    #: Inject an SSR storm: affected backends take a subsystem restart
+    #: on their first batch at or after this simulated time (ms).
+    ssr_storm_ms: float = None
+    #: How many backends (pool order) the storm hits; ``None`` = all.
+    ssr_storm_backends: int = None
+    #: Reboot window a backend loses after an SSR fault, ms.
+    ssr_recovery_ms: float = 80.0
+    #: Times a failed request is re-routed before it fails for good.
+    redispatch_limit: int = 2
+    #: Per-backend circuit breakers (ejected from routing while open).
+    breakers: bool = True
+    breaker_failure_threshold: int = 1
+    breaker_recovery_ms: float = 100.0
+    breaker_half_open_probes: int = 2
+    #: Brownout watermarks over outstanding requests: enter degraded
+    #: execution at ``high``, exit at ``low`` (``None`` disables).
+    brownout_high: int = None
+    brownout_low: int = None
     seed: int = 0
     trace: bool = False
 
@@ -87,6 +122,38 @@ class ServiceConfig:
             raise ValueError(f"slo_ms must be > 0, got {self.slo_ms}")
         if self.devices < 1:
             raise ValueError(f"devices must be >= 1, got {self.devices}")
+        if not 0.0 <= self.backend_fault_rate <= 1.0:
+            raise ValueError(
+                f"backend_fault_rate must be in [0, 1], got "
+                f"{self.backend_fault_rate}"
+            )
+        if self.ssr_recovery_ms < 0:
+            raise ValueError(
+                f"ssr_recovery_ms must be >= 0, got "
+                f"{self.ssr_recovery_ms}"
+            )
+        if self.redispatch_limit < 0:
+            raise ValueError(
+                f"redispatch_limit must be >= 0, got "
+                f"{self.redispatch_limit}"
+            )
+        if self.ssr_storm_backends is not None and self.ssr_storm_backends < 1:
+            raise ValueError(
+                f"ssr_storm_backends must be >= 1, got "
+                f"{self.ssr_storm_backends}"
+            )
+        if (self.brownout_high is None) != (self.brownout_low is None):
+            if self.brownout_high is None:
+                raise ValueError(
+                    "brownout_low requires brownout_high"
+                )
+
+    @property
+    def faulty_backends(self):
+        """Whether serving backends can fail under this config."""
+        return (
+            self.backend_fault_rate > 0.0 or self.ssr_storm_ms is not None
+        )
 
     @property
     def slo_us(self):
@@ -122,6 +189,14 @@ class ServiceResult:
     miss_attribution: dict
     #: ``[time_ms, outstanding]`` samples at every admission/completion.
     depth_series: list = field(default_factory=list)
+    #: Requests that exhausted the redispatch budget.
+    failed: int = 0
+    #: Successful re-routes after backend batch failures.
+    redispatched: int = 0
+    #: Per-backend breaker ledger (empty when health is disabled).
+    health: list = field(default_factory=list)
+    #: Brownout-controller ledger (``None`` when disabled).
+    brownout: dict = None
 
     @property
     def turned_away(self):
@@ -154,6 +229,10 @@ class ServiceResult:
             "miss_attribution": self.miss_attribution,
             "slo_miss_rate": self.slo_miss_rate,
             "depth_series": self.depth_series,
+            "failed": self.failed,
+            "redispatched": self.redispatched,
+            "health": self.health,
+            "brownout": self.brownout,
         }
 
     def to_json(self):
@@ -220,6 +299,17 @@ class ServiceResult:
                 + f", turned away {self.turned_away}"
             ),
         ]
+        if self.failed or self.redispatched or self.health:
+            opens = sum(entry["opens"] for entry in self.health)
+            lines.append(
+                f"resilience: failed {self.failed}, redispatched "
+                f"{self.redispatched}, breaker opens {opens}"
+                + (
+                    f", brownout episodes {self.brownout['episodes']} "
+                    f"({self.brownout['degraded_requests']} degraded)"
+                    if self.brownout else ""
+                )
+            )
         return "\n".join(lines)
 
 
@@ -250,12 +340,69 @@ def run_service(config=None, population=None, profiles=None, **overrides):
     sim = Simulator(seed=config.seed, trace=config.trace)
     requests = []
     completed = []
+    failed = []
     depth_series = []
 
     def on_complete(request):
         completed.append(request)
         depth_series.append(
             [units.to_ms(sim.now), router.outstanding]
+        )
+        if brownout is not None:
+            brownout.update(router.outstanding, sim)
+
+    def on_request_failed(request):
+        failed.append(request)
+        depth_series.append(
+            [units.to_ms(sim.now), router.outstanding]
+        )
+
+    def on_batch_failed(request):
+        router.redispatch(request)
+
+    # Health plumbing exists only when backends can actually fail, so
+    # the fault-free service run loop stays event-for-event identical
+    # to a build without this module.
+    monitor = None
+    brownout = None
+    injectors = {}
+    if config.faulty_backends:
+        storm_ids = set()
+        if config.ssr_storm_ms is not None:
+            hit = (
+                len(profiles) if config.ssr_storm_backends is None
+                else min(config.ssr_storm_backends, len(profiles))
+            )
+            storm_ids = {
+                profile.backend_id for profile in profiles[:hit]
+            }
+        storm = (
+            FaultSpec(FAULT_SSR, at_time_us=units.ms(config.ssr_storm_ms)),
+        ) if storm_ids else ()
+        injectors = {
+            profile.backend_id: FaultInjector(FaultPlan(
+                specs=storm if profile.backend_id in storm_ids else (),
+                rate=config.backend_fault_rate,
+                seed=derived_seed(
+                    config.seed, f"backend{profile.backend_id}"
+                ),
+                kinds=(FAULT_TIMEOUT, FAULT_SSR),
+            ))
+            for profile in profiles
+        }
+        if config.breakers:
+            monitor = HealthMonitor(
+                sim,
+                [profile.backend_id for profile in profiles],
+                BreakerConfig(
+                    failure_threshold=config.breaker_failure_threshold,
+                    recovery_us=units.ms(config.breaker_recovery_ms),
+                    half_open_probes=config.breaker_half_open_probes,
+                ),
+            )
+    if config.brownout_high is not None:
+        brownout = BrownoutController(
+            config.brownout_high, config.brownout_low
         )
 
     backends = [
@@ -267,10 +414,21 @@ def run_service(config=None, population=None, profiles=None, **overrides):
                 max_delay_us=units.ms(config.max_delay_ms),
             ),
             on_complete,
+            injector=injectors.get(profile.backend_id),
+            health=monitor,
+            on_failed=on_batch_failed,
+            ssr_recovery_us=units.ms(config.ssr_recovery_ms),
         )
         for profile in profiles
     ]
-    router = Router(sim, backends)
+    router = Router(
+        sim,
+        backends,
+        health=monitor,
+        brownout=brownout,
+        redispatch_limit=config.redispatch_limit,
+        on_failed=on_request_failed,
+    )
     admission = AdmissionQueue(
         capacity=config.queue_capacity, policy=config.policy
     )
@@ -308,12 +466,13 @@ def run_service(config=None, population=None, profiles=None, **overrides):
     sim.run()
     return _assemble(
         config, backends, pool_failures, admission, requests, completed,
-        depth_series,
+        depth_series, router=router, monitor=monitor, brownout=brownout,
     )
 
 
 def _assemble(config, backends, pool_failures, admission, requests,
-              completed, depth_series):
+              completed, depth_series, router=None, monitor=None,
+              brownout=None):
     latencies_ms = [
         units.to_ms(request.latency_us) for request in completed
     ]
@@ -346,4 +505,8 @@ def _assemble(config, backends, pool_failures, admission, requests,
         p99_ms=percentile(latencies_ms, 0.99),
         miss_attribution=misses,
         depth_series=depth_series,
+        failed=router.failed if router is not None else 0,
+        redispatched=router.redispatches if router is not None else 0,
+        health=monitor.to_dict() if monitor is not None else [],
+        brownout=brownout.to_dict() if brownout is not None else None,
     )

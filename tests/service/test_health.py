@@ -1,0 +1,203 @@
+"""Backend health: breaker state machine, ejection, brownout, storms."""
+
+import pytest
+
+from repro.service import run_service
+from repro.service.health import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerConfig,
+    BrownoutController,
+    CircuitBreaker,
+)
+from repro.service.request import OUTCOME_FAILED, Request
+
+
+def _breaker(**overrides):
+    config = dict(
+        failure_threshold=2, recovery_us=100.0, half_open_probes=1
+    )
+    config.update(overrides)
+    return CircuitBreaker(BreakerConfig(**config))
+
+
+def test_breaker_trips_after_threshold_consecutive_failures():
+    breaker = _breaker()
+    assert breaker.state == STATE_CLOSED
+    breaker.record_failure(0.0)
+    assert breaker.state == STATE_CLOSED
+    # A success resets the streak — failures must be consecutive.
+    breaker.record_success(1.0)
+    breaker.record_failure(2.0)
+    assert breaker.state == STATE_CLOSED
+    breaker.record_failure(3.0)
+    assert breaker.state == STATE_OPEN
+    assert breaker.opens == 1
+
+
+def test_open_breaker_rejects_until_recovery_then_probes():
+    breaker = _breaker()
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.0)
+    assert not breaker.allow(50.0)
+    assert not breaker.allow(99.0)
+    # The recovery window elapsed: half-open, one probe admitted.
+    assert breaker.allow(100.0)
+    assert breaker.state == STATE_HALF_OPEN
+    breaker.note_dispatch(100.0)
+    assert not breaker.allow(101.0)  # probe budget spent
+    breaker.record_success(110.0)
+    assert breaker.state == STATE_CLOSED
+    assert breaker.allow(111.0)
+
+
+def test_half_open_failure_reopens_with_fresh_window():
+    breaker = _breaker()
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.0)
+    assert breaker.allow(100.0)
+    breaker.note_dispatch(100.0)
+    breaker.record_failure(120.0)
+    assert breaker.state == STATE_OPEN
+    assert breaker.opens == 2
+    assert not breaker.allow(219.0)
+    assert breaker.allow(220.0)
+
+
+def test_breaker_accounts_ejected_time():
+    breaker = _breaker()
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.0)
+    assert breaker.allow(150.0)  # open for 150 us before half-open
+    breaker.record_success(160.0)
+    assert breaker.to_dict()["ejected_ms"] == pytest.approx(0.150)
+
+
+def test_breaker_config_validation():
+    with pytest.raises(ValueError):
+        BreakerConfig(failure_threshold=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(recovery_us=0)
+    with pytest.raises(ValueError):
+        BreakerConfig(half_open_probes=0)
+
+
+def test_brownout_hysteresis_and_degradation():
+    brownout = BrownoutController(high=10, low=4)
+    assert not brownout.update(9)
+    assert brownout.update(10)
+    assert brownout.episodes == 1
+    # Between the watermarks: stays in brownout (hysteresis).
+    assert brownout.update(7)
+    request = Request(request_id=0, arrival_us=0.0)
+    brownout.degrade(request)
+    brownout.degrade(request)  # idempotent per request
+    assert request.degraded
+    assert brownout.degraded_requests == 1
+    assert not brownout.update(4)
+    assert brownout.update(10)
+    assert brownout.episodes == 2
+
+
+def test_brownout_validation():
+    with pytest.raises(ValueError):
+        BrownoutController(high=0)
+    with pytest.raises(ValueError):
+        BrownoutController(high=5, low=5)
+    # low defaults to half of high.
+    assert BrownoutController(high=10).low == 5
+
+
+# -- integration through run_service ------------------------------------
+
+_STORM = dict(
+    rate_rps=70.0, duration_s=0.8, slo_ms=100.0, devices=2, seed=3,
+    ssr_storm_ms=300.0, ssr_storm_backends=1, ssr_recovery_ms=250.0,
+    breaker_recovery_ms=250.0,
+)
+
+
+def test_ssr_storm_opens_breaker_and_ejects_backend():
+    result = run_service(**_STORM)
+    assert len(result.health) == 2
+    stormed = result.health[0]
+    assert stormed["backend_id"] == 0
+    assert stormed["opens"] >= 1
+    assert stormed["failures"] >= 1
+    assert stormed["ejected_ms"] > 0.0
+    # The failed batch's requests were re-routed, none terminally lost.
+    assert result.redispatched >= 1
+    assert result.failed == 0
+    assert result.offered == (
+        result.completed + result.failed
+        + result.dropped + result.rejected
+    )
+
+
+def test_ssr_storm_is_deterministic():
+    assert run_service(**_STORM).digest() == run_service(**_STORM).digest()
+
+
+def test_breakers_off_disables_health_ledger():
+    result = run_service(breakers=False, **_STORM)
+    assert result.health == []
+    # Faults still happen and redispatch still works without breakers.
+    assert result.redispatched >= 1
+
+
+def test_fault_free_run_has_no_health_machinery():
+    result = run_service(
+        rate_rps=100.0, duration_s=0.4, devices=2, seed=3
+    )
+    assert result.health == []
+    assert result.brownout is None
+    assert result.failed == 0
+    assert result.redispatched == 0
+
+
+def test_redispatch_budget_exhaustion_fails_requests():
+    result = run_service(
+        rate_rps=70.0, duration_s=0.8, slo_ms=100.0, devices=2, seed=3,
+        backend_fault_rate=0.6, redispatch_limit=0, breakers=False,
+    )
+    assert result.failed > 0
+    # Failed requests carry the terminal outcome in the accounting:
+    # every offered request is completed, failed, or turned away.
+    assert result.offered == (
+        result.completed + result.failed
+        + result.dropped + result.rejected
+    )
+    # Failures never count toward throughput or goodput.
+    assert result.completed < result.offered
+
+
+def test_brownout_engages_under_overload():
+    result = run_service(
+        rate_rps=300.0, duration_s=0.6, slo_ms=100.0, devices=2, seed=3,
+        backend_fault_rate=0.05, brownout_high=16, brownout_low=6,
+    )
+    assert result.brownout is not None
+    assert result.brownout["episodes"] >= 1
+    assert result.brownout["degraded_requests"] > 0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        run_service(rate_rps=50, duration_s=0.1, backend_fault_rate=1.5)
+    with pytest.raises(ValueError):
+        run_service(rate_rps=50, duration_s=0.1, ssr_storm_backends=0)
+    with pytest.raises(ValueError):
+        run_service(rate_rps=50, duration_s=0.1, redispatch_limit=-1)
+    with pytest.raises(ValueError):
+        run_service(rate_rps=50, duration_s=0.1, brownout_low=3)
+
+
+def test_failed_outcome_round_trips_request_dict():
+    request = Request(request_id=7, arrival_us=0.0)
+    request.outcome = OUTCOME_FAILED
+    request.redispatches = 3
+    payload = request.to_dict()
+    assert payload["outcome"] == "failed"
+    assert payload["redispatches"] == 3
+    assert payload["latency_ms"] is None
