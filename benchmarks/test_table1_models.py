@@ -1,7 +1,7 @@
 """Bench: regenerate Table I (model zoo construction + accounting)."""
 
 from repro.experiments import run_experiment
-from repro.models.zoo import load_model
+from repro.models import load_model
 
 
 def test_table1_models(benchmark, save_result):

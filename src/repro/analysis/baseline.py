@@ -17,6 +17,7 @@ from repro.analysis.lint import RULES_BY_ID, LintError
 #: Default baseline filenames, looked up in the working directory.
 BASELINE_NAME = ".repro-lint-baseline.json"
 SEMCHECK_BASELINE_NAME = ".repro-semcheck-baseline.json"
+ARCHCHECK_BASELINE_NAME = ".repro-archcheck-baseline.json"
 
 _VERSION = 1
 

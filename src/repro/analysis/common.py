@@ -1,17 +1,17 @@
-"""Machinery shared by the AST checkers (``lint`` and ``semcheck``).
+"""Machinery shared by the AST checkers (lint, semcheck, archcheck).
 
-Both checkers speak the same dialect: findings located at
+Every checker speaks the same dialect: findings located at
 ``path:line:col`` with a stable rule id and a fix-it hint, suppression
 through ``# repro: allow[rule-id]`` pragmas, an acknowledged-findings
 baseline, and the 0/1/2 exit-code contract (clean / findings / the run
 itself cannot be trusted). This module holds the dialect so
-:mod:`repro.analysis.lint` and :mod:`repro.analysis.semcheck` only
-contain rules.
+:mod:`repro.analysis.lint`, :mod:`repro.analysis.semcheck`, and
+:mod:`repro.analysis.archcheck` only contain rules.
 
 Pragmas are validated against the union of every checker's rule ids
-(:func:`known_rule_ids`): a pragma naming a rule the *other* checker
-owns is silently inapplicable here, but a pragma naming a rule nobody
-owns is a hard error — typos must fail the run, not rot.
+(:func:`known_rule_ids`): a pragma naming a rule another checker owns
+is silently inapplicable here, but a pragma naming a rule nobody owns
+is a hard error — typos must fail the run, not rot.
 """
 
 import ast
@@ -71,9 +71,13 @@ _PRAGMA = re.compile(r"#\s*repro:\s*(allow|allow-file)\[([^\]]*)\]")
 
 def known_rule_ids():
     """Every rule id any checker owns (for pragma/typo validation)."""
-    from repro.analysis import lint, semcheck
+    from repro.analysis import archcheck, lint, semcheck
 
-    return frozenset(lint.RULES_BY_ID) | frozenset(semcheck.RULES_BY_ID)
+    return (
+        frozenset(lint.RULES_BY_ID)
+        | frozenset(semcheck.RULES_BY_ID)
+        | frozenset(archcheck.RULES_BY_ID)
+    )
 
 
 def parse_pragmas(source, path, applicable=None, known=None):
@@ -229,7 +233,7 @@ def render_findings(findings, rules_by_id, show_hints=True):
 
 
 def findings_to_json(findings):
-    """The shared ``--format=json`` payload for lint and semcheck."""
+    """The shared ``--format=json`` payload for every checker."""
     return [
         {
             "rule": finding.rule,
@@ -240,3 +244,52 @@ def findings_to_json(findings):
         }
         for finding in findings
     ]
+
+
+def inventory_pragmas(paths, known=None):
+    """Audit every ``# repro: allow[...]`` suppression under ``paths``.
+
+    Returns ``(records, errors)``: one record per pragma, sorted by
+    location, with the rule ids it names — the ``--list-pragmas`` view
+    that keeps the suppression debt visible. Unknown rule ids are
+    errors, exactly as they are during a check run.
+    """
+    known = known if known is not None else known_rule_ids()
+    records = []
+    errors = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text()
+        except OSError as exc:
+            errors.append(LintError(str(file_path), 0, f"unreadable: {exc}"))
+            continue
+        display = display_path(file_path)
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            tokens = []
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            for match in _PRAGMA.finditer(token.string):
+                kind, raw = match.group(1), match.group(2)
+                rules = sorted(
+                    part.strip() for part in raw.split(",") if part.strip()
+                )
+                unknown = sorted(set(rules) - set(known))
+                if unknown:
+                    errors.append(LintError(
+                        display, token.start[0],
+                        "unknown rule id(s) in pragma: "
+                        f"{', '.join(unknown)}",
+                    ))
+                records.append({
+                    "path": display,
+                    "line": token.start[0],
+                    "kind": kind,
+                    "rules": rules,
+                })
+    records.sort(key=lambda record: (record["path"], record["line"]))
+    return records, errors

@@ -72,7 +72,7 @@ def fleet_replay_digest(sessions=None, runs=None, seed=None):
     file pins.
     """
     from repro.analysis.sanitize import dual_run
-    from repro.fleet.runner import run_fleet
+    from repro.fleet import run_fleet
 
     workload = dict(REPLAY_WORKLOAD)
     if sessions is not None:
@@ -121,7 +121,7 @@ def measure_fleet_throughput(sessions=64, runs=6, seed=0, repeats=3):
     one process) and reports the *best* wall time — the least-noisy
     estimator for a fixed workload on a shared machine.
     """
-    from repro.fleet.runner import run_fleet
+    from repro.fleet import run_fleet
 
     walls = []
     for _ in range(repeats):

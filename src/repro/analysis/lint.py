@@ -138,7 +138,6 @@ class LintConfig:
         "*/experiments/*",
         "*/core/export.py",
         "*/core/report.py",
-        "*/sim/export.py",
         "*/fleet/aggregate.py",
     )
 

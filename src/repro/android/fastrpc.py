@@ -25,7 +25,7 @@ from repro.faults.plan import (
     FAULT_TIMEOUT,
 )
 from repro.faults.recovery import RetryPolicy
-from repro.observability.probes import instant, probe
+from repro.sim.probes import instant, probe
 
 
 @dataclass

@@ -10,10 +10,18 @@ Three packagings of the same model, mirroring the paper's comparison:
   code pre-processing, inference, post-processing, UI rendering, GC.
 
 Plus background inference jobs for the multi-tenancy experiments
-(Figs. 9/10) and a one-call harness used by experiments and examples.
+(Figs. 9/10), the open-loop arrival processes shared by the loadgen
+scenarios and the service tier (:mod:`repro.apps.arrivals`), and a
+one-call harness used by experiments and examples.
 """
 
 from repro.apps.android_app import AndroidApp
+from repro.apps.arrivals import (
+    ARRIVAL_KINDS,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
 from repro.apps.background import start_background_inferences
 from repro.apps.benchmark_cli import BenchmarkApp, BenchmarkCli
 from repro.apps.harness import (
@@ -24,11 +32,15 @@ from repro.apps.harness import (
 from repro.apps.sessions import make_session
 
 __all__ = [
+    "ARRIVAL_KINDS",
     "AndroidApp",
     "start_background_inferences",
     "BenchmarkApp",
     "BenchmarkCli",
+    "DiurnalArrivals",
     "PipelineConfig",
+    "PoissonArrivals",
+    "make_arrivals",
     "run_pipeline",
     "run_pipeline_with_rig",
     "make_session",

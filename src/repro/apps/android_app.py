@@ -15,7 +15,7 @@ from repro.apps.sessions import make_session
 from repro.capture import CameraHal
 from repro.core.measurement import PipelineRun, RunCollection
 from repro.models import load_model, model_card
-from repro.observability.probes import probe
+from repro.sim.probes import probe
 from repro.processing import build_postprocess_plan, build_preprocessor
 
 

@@ -1,0 +1,171 @@
+"""Open-loop arrival processes: the traffic the service cannot pace.
+
+A closed-loop load generator (the MLPerf single-stream scenario) waits
+for each response before issuing the next query, so an overloaded
+system quietly slows the *offered* load down and hides its own
+saturation. An open-loop process issues requests on a schedule the
+system under test cannot influence — the "millions of users" regime —
+which is what makes overload, queueing delay, and goodput collapse
+observable at all.
+
+Both processes here are pure functions of ``(parameters, seed)``: each
+call derives a fresh named stream from
+:class:`~repro.sim.rng.RngStreams`, so the same seed replays the
+request timeline bit-identically, run after run, worker after worker.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.sim import RngStreams, units
+
+#: Stream name the arrival draws come from (one stream per process
+#: instance; fresh per ``times_us`` call so replays are identical).
+#: Frozen at its historical value: the name seeds the derived stream,
+#: so changing it would move every request timeline ever exported.
+_STREAM = "service.arrivals"
+
+POISSON = "poisson"
+DIURNAL = "diurnal"
+
+ARRIVAL_KINDS = (POISSON, DIURNAL)
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Homogeneous Poisson arrivals at ``rate_rps`` requests/second."""
+
+    rate_rps: float
+    seed: int = 0
+    kind: str = POISSON
+
+    def __post_init__(self):
+        if self.rate_rps <= 0:
+            raise ValueError(f"rate_rps must be > 0, got {self.rate_rps}")
+
+    @property
+    def mean_gap_us(self):
+        """Mean inter-arrival gap in simulator microseconds."""
+        return units.seconds(1.0 / self.rate_rps)
+
+    def times_us(self, duration_us=None, count=None):
+        """Deterministic arrival times, as a tuple of microseconds.
+
+        Exactly one of ``duration_us`` (all arrivals in ``[0,
+        duration_us)``) or ``count`` (the first ``count`` arrivals) must
+        be given. Same parameters and seed — same timeline, always.
+        """
+        _check_window(duration_us, count)
+        rng = RngStreams(self.seed).stream(_STREAM)
+        times = []
+        now_us = 0.0
+        while _more(times, now_us, duration_us, count):
+            now_us += rng.exponential(self.mean_gap_us)
+            if duration_us is not None and now_us >= duration_us:
+                break
+            times.append(now_us)
+        return tuple(times)
+
+    def peak_rate_rps(self):
+        return self.rate_rps
+
+    def describe(self):
+        return {"kind": self.kind, "rate_rps": self.rate_rps,
+                "seed": self.seed}
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals:
+    """Sinusoidally-modulated Poisson arrivals (a compressed "day".)
+
+    The instantaneous rate is ``rate_rps * (1 + amplitude *
+    sin(2 pi t / period))`` — the mean stays ``rate_rps`` while the
+    peak hits ``rate_rps * (1 + amplitude)``, so a service provisioned
+    for the mean sees periodic overload. Sampled by thinning a
+    homogeneous process at the peak rate: every candidate consumes
+    exactly two draws (gap + accept), so the timeline is independent of
+    how many candidates end up accepted.
+    """
+
+    rate_rps: float
+    amplitude: float = 0.6
+    period_s: float = 1.0
+    seed: int = 0
+    kind: str = DIURNAL
+
+    def __post_init__(self):
+        if self.rate_rps <= 0:
+            raise ValueError(f"rate_rps must be > 0, got {self.rate_rps}")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError(
+                f"amplitude must be in [0, 1), got {self.amplitude}"
+            )
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be > 0, got {self.period_s}")
+
+    def rate_at(self, time_us):
+        """Instantaneous rate (requests/second) at a simulated time."""
+        period_us = units.seconds(self.period_s)
+        phase = math.sin(2.0 * math.pi * (time_us / period_us))
+        return self.rate_rps * (1.0 + self.amplitude * phase)
+
+    def peak_rate_rps(self):
+        return self.rate_rps * (1.0 + self.amplitude)
+
+    def times_us(self, duration_us=None, count=None):
+        """Deterministic arrival times, as a tuple of microseconds.
+
+        Same contract as :meth:`PoissonArrivals.times_us`.
+        """
+        _check_window(duration_us, count)
+        rng = RngStreams(self.seed).stream(_STREAM)
+        peak_gap_us = units.seconds(1.0 / self.peak_rate_rps())
+        times = []
+        now_us = 0.0
+        while _more(times, now_us, duration_us, count):
+            now_us += rng.exponential(peak_gap_us)
+            accept = rng.random()
+            if duration_us is not None and now_us >= duration_us:
+                break
+            if accept < self.rate_at(now_us) / self.peak_rate_rps():
+                times.append(now_us)
+        return tuple(times)
+
+    def describe(self):
+        return {
+            "kind": self.kind, "rate_rps": self.rate_rps,
+            "amplitude": self.amplitude, "period_s": self.period_s,
+            "seed": self.seed,
+        }
+
+
+def _check_window(duration_us, count):
+    if (duration_us is None) == (count is None):
+        raise ValueError(
+            "exactly one of duration_us / count must be given, got "
+            f"duration_us={duration_us!r} count={count!r}"
+        )
+    if duration_us is not None and duration_us <= 0:
+        raise ValueError(f"duration_us must be > 0, got {duration_us}")
+    if count is not None and count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+
+
+def _more(times, now_us, duration_us, count):
+    if count is not None:
+        return len(times) < count
+    return now_us < duration_us
+
+
+def make_arrivals(kind, rate_rps, seed=0, amplitude=0.6, period_s=1.0):
+    """Factory mapping a config string to an arrival process."""
+    if kind == POISSON:
+        return PoissonArrivals(rate_rps=rate_rps, seed=seed)
+    if kind == DIURNAL:
+        return DiurnalArrivals(
+            rate_rps=rate_rps, amplitude=amplitude, period_s=period_s,
+            seed=seed,
+        )
+    raise ValueError(
+        f"unknown arrival kind {kind!r}; known: {ARRIVAL_KINDS}"
+    )

@@ -13,7 +13,7 @@ from repro.android.thread import Work
 from repro.apps.sessions import make_session
 from repro.core.measurement import PipelineRun, RunCollection
 from repro.models import load_model, model_card
-from repro.observability.probes import probe
+from repro.sim.probes import probe
 from repro.processing import build_postprocess_plan, build_preprocessor
 from repro.processing.costs import random_input_cost_us
 

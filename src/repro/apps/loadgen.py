@@ -12,7 +12,7 @@ inside one framework:
   interval (a multi-camera pipeline); report the per-query p90.
 * **offline** — issue all queries at once; report throughput.
 * **server** — open-loop Poisson arrivals the device cannot pace
-  (:mod:`repro.service.arrivals`); report goodput — queries per second
+  (:mod:`repro.apps.arrivals`); report goodput — queries per second
   completing within the latency bound — alongside raw throughput.
 
 All four exercise *inference only* (random inputs, no capture, no app
@@ -159,7 +159,7 @@ class MlperfLoadgen:
         elif scenario == OFFLINE:
             body = self._offline_body(queries)
         elif scenario == SERVER:
-            from repro.service.arrivals import PoissonArrivals
+            from repro.apps.arrivals import PoissonArrivals
 
             arrivals = PoissonArrivals(
                 rate_rps=target_qps if target_qps else 20.0, seed=seed

@@ -22,7 +22,7 @@ from repro.capture import CameraHal
 from repro.core.measurement import PipelineRun, RunCollection
 from repro.models import load_model, model_card
 from repro.processing import build_postprocess_plan, build_preprocessor
-from repro.sim.resources import Store
+from repro.sim import Store
 
 
 class PipelinedApp:

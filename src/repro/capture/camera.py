@@ -16,7 +16,7 @@ from repro.android import params as os_params
 from repro.android.thread import WaitFor, Work
 from repro.capture.frames import FrameDescriptor
 from repro.sim import units
-from repro.sim.resources import Store
+from repro.sim import Store
 
 
 class CameraHal:

@@ -35,6 +35,15 @@ Commands
     ``_ms`` arithmetic, bare ``* 1000`` conversions) and the resource
     request/release protocol across yields and exception edges. Same
     pragma/baseline/exit-code contract as ``lint``.
+``archcheck``
+    Whole-program architecture analysis: layering contract
+    (``.repro-arch.toml``), surface-package discipline, cross-process
+    safety, nondeterminism escape, and blocking calls in DES process
+    bodies (see docs/analysis.md). Same contract as ``lint``.
+``check``
+    Umbrella over lint + semcheck + archcheck with a merged exit code
+    — the single command CI runs; ``--sanitize TARGET`` folds
+    dual-run replay digests in as well.
 ``sanitize``
     Replay a scenario, experiment, or small fleet twice with the
     runtime sanitizer attached and diff the event-stream sha256
@@ -73,9 +82,9 @@ def _cmd_socs(_args):
 def _enable_sanitizer_if_requested(args):
     """Honor a ``--sanitize`` flag for every simulator the command makes."""
     if getattr(args, "sanitize", False):
-        from repro.sim import engine
+        from repro.sim import set_sanitize_default
 
-        engine.set_sanitize_default(True)
+        set_sanitize_default(True)
         print("sanitizer: on (invariant violations raise immediately)")
 
 
@@ -227,7 +236,7 @@ def _cmd_serve(args):
     if args.fault_rate:
         # Fault injection only bites a pool that contains the
         # no-recovery vendor slice; the paper population has none.
-        from repro.fleet.population import chaos_population
+        from repro.fleet import chaos_population
 
         population = chaos_population()
     config = ServiceConfig(
@@ -293,83 +302,180 @@ def _cmd_trace(args):
     return 0
 
 
-def _run_checker(args, check_paths, render, known_rules, default_baseline,
-                 clean_label):
-    """Shared driver for the ``lint`` and ``semcheck`` commands.
-
-    Both checkers speak the same contract: pragma suppression, an
-    acknowledged-findings baseline (``--check`` makes stale entries
-    errors), a shared ``--format=json`` findings payload, and exit
-    codes 0 (clean) / 1 (findings) / 2 (the run cannot be trusted).
-    """
+def _default_paths(args):
     import repro
+
+    return args.paths or [pathlib.Path(repro.__file__).parent]
+
+
+def _checker_outcome(paths, check_paths, known_rules, default_baseline,
+                     baseline=None, strict=False):
+    """Run one checker plus its baseline handling; no printing.
+
+    The compute half shared by the single-tool commands and the
+    ``check`` umbrella. Returns a dict with the post-baseline
+    ``findings``, the ``errors`` (configuration problems: exit 2), the
+    ``stale_warnings`` (human-readable; promoted into ``errors`` when
+    ``strict``), and the ``suppressed`` count.
+    """
     from repro.analysis import baseline as baseline_mod
-    from repro.analysis.common import LintError, findings_to_json
+    from repro.analysis.common import LintError
 
-    paths = args.paths or [pathlib.Path(repro.__file__).parent]
     findings, errors = check_paths(paths)
+    errors = list(errors)
 
-    baseline_path = args.baseline
+    baseline_path = baseline
     if baseline_path is None:
         default = pathlib.Path(default_baseline)
         baseline_path = default if default.exists() else None
-
-    if args.write_baseline:
-        target = baseline_path or default_baseline
-        count = baseline_mod.write_baseline(target, findings)
-        print(f"wrote {target} ({count} acknowledged findings)")
-        for error in errors:
-            print(error.render())
-        return 2 if errors else 0
-
     entries = []
     if baseline_path is not None:
         entries, baseline_errors = baseline_mod.load_baseline(
             baseline_path, known_rules=known_rules
         )
-        errors = list(errors) + list(baseline_errors)
+        errors.extend(baseline_errors)
     new_findings, stale = baseline_mod.apply_baseline(findings, entries)
 
-    as_json = args.format == "json" or getattr(args, "json", False)
-    if as_json:
-        import json
-
-        print(json.dumps(findings_to_json(new_findings), indent=2))
-    else:
-        for line in render(new_findings):
-            print(line)
-    # In json mode stdout carries the findings array and nothing else;
-    # diagnostics move to stderr so the output stays machine-readable.
-    diag = sys.stderr if as_json else sys.stdout
+    stale_warnings = []
     for entry in stale:
         message = (
             f"{entry.path}:{entry.line}: stale baseline entry "
             f"[{entry.rule}] — the finding no longer exists; remove it"
         )
-        if args.check:
-            errors = list(errors) + [
-                LintError(entry.path, entry.line, message)
-            ]
+        if strict:
+            errors.append(LintError(entry.path, entry.line, message))
         else:
-            print(f"warning: {message}", file=diag)
-    for error in errors:
+            stale_warnings.append(message)
+    return {
+        "findings": new_findings,
+        "errors": errors,
+        "stale_warnings": stale_warnings,
+        "suppressed": len(findings) - len(new_findings),
+        "raw_findings": findings,
+    }
+
+
+def _print_outcome(outcome, render, clean_label, as_json, diag):
+    """The printing half of one checker run; returns the exit code."""
+    from repro.analysis.common import findings_to_json
+
+    if as_json:
+        import json
+
+        print(json.dumps(findings_to_json(outcome["findings"]), indent=2))
+    else:
+        for line in render(outcome["findings"]):
+            print(line)
+    for message in outcome["stale_warnings"]:
+        print(f"warning: {message}", file=diag)
+    for error in outcome["errors"]:
         print(error.render(), file=diag)
-    if errors:
+    if outcome["errors"]:
         return 2
-    if new_findings:
+    if outcome["findings"]:
         print(
-            f"\n{len(new_findings)} finding(s); suppress a true positive "
-            "with `# repro: allow[rule-id]`, see docs/determinism.md",
+            f"\n{len(outcome['findings'])} finding(s); suppress a true "
+            "positive with `# repro: allow[rule-id]`, see "
+            "docs/analysis.md",
             file=diag,
         )
         return 1
-    suppressed = len(findings) - len(new_findings)
+    suppressed = outcome["suppressed"]
     print(
         f"{clean_label}: clean"
         + (f" ({suppressed} baselined)" if suppressed else ""),
         file=diag,
     )
     return 0
+
+
+def _list_pragmas(args):
+    """The ``--list-pragmas`` audit: inventory every suppression."""
+    from repro.analysis.common import inventory_pragmas
+
+    records, errors = inventory_pragmas(_default_paths(args))
+    as_json = args.format == "json" or getattr(args, "json", False)
+    diag = sys.stderr if as_json else sys.stdout
+    if as_json:
+        import json
+
+        print(json.dumps(records, indent=2))
+    else:
+        for record in records:
+            rules = ", ".join(record["rules"])
+            print(
+                f"{record['path']}:{record['line']}: "
+                f"{record['kind']}[{rules}]"
+            )
+        print(f"{len(records)} pragma(s)", file=diag)
+    for error in errors:
+        print(error.render(), file=diag)
+    return 2 if errors else 0
+
+
+def _run_checker(args, check_paths, render, known_rules, default_baseline,
+                 clean_label):
+    """Shared driver for the single-checker commands.
+
+    Every checker speaks the same contract: pragma suppression, an
+    acknowledged-findings baseline (``--check`` makes stale entries
+    errors), a shared ``--format=json`` findings payload, and exit
+    codes 0 (clean) / 1 (findings) / 2 (the run cannot be trusted).
+    """
+    from repro.analysis import baseline as baseline_mod
+
+    if getattr(args, "list_pragmas", False):
+        return _list_pragmas(args)
+    paths = _default_paths(args)
+
+    if args.write_baseline:
+        findings, errors = check_paths(paths)
+        target = args.baseline or default_baseline
+        count = baseline_mod.write_baseline(target, findings)
+        print(f"wrote {target} ({count} acknowledged findings)")
+        for error in errors:
+            print(error.render())
+        return 2 if errors else 0
+
+    outcome = _checker_outcome(
+        paths, check_paths, known_rules, default_baseline,
+        baseline=args.baseline, strict=args.check,
+    )
+    as_json = args.format == "json" or getattr(args, "json", False)
+    # In json mode stdout carries the findings array and nothing else;
+    # diagnostics move to stderr so the output stays machine-readable.
+    diag = sys.stderr if as_json else sys.stdout
+    return _print_outcome(outcome, render, clean_label, as_json, diag)
+
+
+def _checker_table(args):
+    """(name, check_paths, render, known_rules, baseline, label) rows."""
+    from repro.analysis import archcheck as archcheck_mod
+    from repro.analysis import baseline as baseline_mod
+    from repro.analysis import lint as lint_mod
+    from repro.analysis import semcheck as semcheck_mod
+
+    contract_path = getattr(args, "contract", None)
+    return (
+        (
+            "lint", lint_mod.lint_paths, lint_mod.render_findings,
+            lint_mod.RULES_BY_ID, baseline_mod.BASELINE_NAME,
+            "determinism lint",
+        ),
+        (
+            "semcheck", semcheck_mod.semcheck_paths,
+            semcheck_mod.render_findings, semcheck_mod.RULES_BY_ID,
+            baseline_mod.SEMCHECK_BASELINE_NAME, "semcheck",
+        ),
+        (
+            "archcheck",
+            lambda paths: archcheck_mod.archcheck_paths(
+                paths, contract_path=contract_path
+            ),
+            archcheck_mod.render_findings, archcheck_mod.RULES_BY_ID,
+            baseline_mod.ARCHCHECK_BASELINE_NAME, "archcheck",
+        ),
+    )
 
 
 def _cmd_lint(args):
@@ -400,44 +506,150 @@ def _cmd_semcheck(args):
     )
 
 
-def _cmd_sanitize(args):
-    from repro.analysis.sanitize import dual_run
+def _cmd_archcheck(args):
+    from repro.analysis import archcheck as archcheck_mod
+    from repro.analysis import baseline as baseline_mod
+
+    return _run_checker(
+        args,
+        check_paths=lambda paths: archcheck_mod.archcheck_paths(
+            paths, contract_path=args.contract
+        ),
+        render=archcheck_mod.render_findings,
+        known_rules=archcheck_mod.RULES_BY_ID,
+        default_baseline=baseline_mod.ARCHCHECK_BASELINE_NAME,
+        clean_label="archcheck",
+    )
+
+
+def _cmd_check(args):
+    """Umbrella: lint + semcheck + archcheck (+ optional dual-runs).
+
+    One command for CI: every static checker over the same paths, a
+    merged exit code (worst of the parts), and in ``--format=json`` a
+    single object keyed by tool.
+    """
+    if getattr(args, "list_pragmas", False):
+        return _list_pragmas(args)
+    if args.write_baseline or args.baseline:
+        print(
+            "error: check runs every tool against its own default "
+            "baseline; use the per-tool commands to write or point at "
+            "one"
+        )
+        return 2
+    from repro.analysis.common import findings_to_json
+
+    paths = _default_paths(args)
+    as_json = args.format == "json"
+    diag = sys.stderr if as_json else sys.stdout
+    payload = {}
+    exit_code = 0
+    for name, check_paths, render, known_rules, default_baseline, label in (
+        _checker_table(args)
+    ):
+        outcome = _checker_outcome(
+            paths, check_paths, known_rules, default_baseline,
+            strict=args.check,
+        )
+        if as_json:
+            payload[name] = findings_to_json(outcome["findings"])
+            for message in outcome["stale_warnings"]:
+                print(f"warning: {message}", file=diag)
+            for error in outcome["errors"]:
+                print(error.render(), file=diag)
+            code = (
+                2 if outcome["errors"] else 1 if outcome["findings"] else 0
+            )
+        else:
+            print(f"== {name} ==")
+            code = _print_outcome(outcome, render, label, False, diag)
+        exit_code = max(exit_code, code)
+
+    if args.sanitize:
+        from repro.analysis.sanitize import dual_run
+
+        reports = []
+        for target in args.sanitize:
+            scenario, unknown = _sanitize_scenario(target)
+            if scenario is None:
+                print(unknown, file=diag)
+                exit_code = max(exit_code, 2)
+                continue
+            report = dual_run(scenario)
+            reports.append({"target": target, **report.to_json()})
+            if not as_json:
+                print(f"== sanitize {target} ==")
+                print(report.render())
+            if not report.identical:
+                exit_code = max(exit_code, 1)
+        if as_json:
+            payload["sanitize"] = reports
+
+    if as_json:
+        import json
+
+        print(json.dumps(payload, indent=2))
+    elif exit_code == 0:
+        print("check: all clean")
+    return exit_code
+
+
+def _sanitize_scenario(name, runs=None, seed=None, sessions=4):
+    """Resolve a sanitize target to a zero-argument scenario callable.
+
+    Returns ``(callable, None)``, or ``(None, message)`` naming the
+    known targets when ``name`` matches nothing.
+    """
     from repro.experiments import REGISTRY, run_experiment
     from repro.observability.scenarios import SCENARIOS, record_trace
 
-    name = args.target
     if name == "serve":
         from repro.service import run_service
 
         def scenario():
             run_service(
                 rate_rps=120.0, duration_s=0.5,
-                devices=args.sessions, seed=args.seed or 0,
-                calibration_runs=args.runs or 2,
+                devices=sessions, seed=seed or 0,
+                calibration_runs=runs or 2,
             )
     elif name == "fleet":
         from repro.fleet import run_fleet
 
         def scenario():
             run_fleet(
-                sessions=args.sessions, workers=1, seed=args.seed or 0,
-                runs=args.runs or 3,
+                sessions=sessions, workers=1, seed=seed or 0,
+                runs=runs or 3,
             )
     elif name in SCENARIOS:
         def scenario():
-            record_trace(name, runs=args.runs, seed=args.seed)
+            record_trace(name, runs=runs, seed=seed)
     elif name in REGISTRY:
         def scenario():
             run_experiment(name)
     else:
-        known = sorted(
-            set(SCENARIOS) | set(REGISTRY) | {"fleet", "serve"}
-        )
-        print(f"unknown sanitize target {name!r}; known: {known}")
+        known = sorted(set(SCENARIOS) | set(REGISTRY) | {"fleet", "serve"})
+        return None, f"unknown sanitize target {name!r}; known: {known}"
+    return scenario, None
+
+
+def _cmd_sanitize(args):
+    from repro.analysis.sanitize import dual_run
+
+    scenario, unknown = _sanitize_scenario(
+        args.target, runs=args.runs, seed=args.seed, sessions=args.sessions
+    )
+    if scenario is None:
+        print(unknown)
         return 2
 
     report = dual_run(scenario)
-    print(report.render())
+    if args.format == "json":
+        import json
+
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
     return 0 if report.identical else 1
 
 
@@ -460,7 +672,7 @@ def _runs_parameter(experiment_id):
 
 
 def _add_checker_arguments(parser, baseline_name):
-    """Arguments shared by the ``lint`` and ``semcheck`` commands."""
+    """Arguments shared by every static-checker command."""
     parser.add_argument(
         "paths", nargs="*", default=None, metavar="PATH",
         help="files or directories to check (default: the installed "
@@ -481,8 +693,13 @@ def _add_checker_arguments(parser, baseline_name):
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
-        help="findings output format (json is shared between lint and "
-             "semcheck for tooling)",
+        help="findings output format (json is shared across the "
+             "checkers for tooling)",
+    )
+    parser.add_argument(
+        "--list-pragmas", action="store_true",
+        help="inventory every `# repro: allow[...]` suppression under "
+             "the checked paths instead of running rules",
     )
 
 
@@ -745,6 +962,34 @@ def build_parser():
     )
     _add_checker_arguments(semcheck_parser, ".repro-semcheck-baseline.json")
 
+    archcheck_parser = sub.add_parser(
+        "archcheck",
+        help="whole-program layering and cross-process safety "
+             "analysis against .repro-arch.toml (docs/analysis.md)",
+    )
+    _add_checker_arguments(archcheck_parser, ".repro-archcheck-baseline.json")
+    archcheck_parser.add_argument(
+        "--contract", default=None, metavar="PATH",
+        help="layering contract (default: .repro-arch.toml in the "
+             "working directory)",
+    )
+
+    check_parser = sub.add_parser(
+        "check",
+        help="umbrella: lint + semcheck + archcheck over the same "
+             "paths with a merged exit code (docs/analysis.md)",
+    )
+    _add_checker_arguments(check_parser, "<per-tool defaults>")
+    check_parser.add_argument(
+        "--contract", default=None, metavar="PATH",
+        help="archcheck layering contract (default: .repro-arch.toml)",
+    )
+    check_parser.add_argument(
+        "--sanitize", action="append", default=None, metavar="TARGET",
+        help="also dual-run this sanitize target (repeatable); a "
+             "divergence fails the check",
+    )
+
     sanitize_parser = sub.add_parser(
         "sanitize",
         help="dual-run replay digest: run a target twice with "
@@ -764,6 +1009,10 @@ def build_parser():
         "--sessions", type=int, default=4,
         help="fleet target: sessions per replay",
     )
+    sanitize_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report output format (json mirrors the other checkers)",
+    )
 
     report_parser = sub.add_parser("report", help="regenerate everything")
     report_parser.add_argument("--fast", action="store_true")
@@ -782,6 +1031,8 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "lint": _cmd_lint,
     "semcheck": _cmd_semcheck,
+    "archcheck": _cmd_archcheck,
+    "check": _cmd_check,
     "sanitize": _cmd_sanitize,
     "report": _cmd_report,
 }

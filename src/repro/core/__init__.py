@@ -16,6 +16,7 @@ from repro.core.analysis import (
 from repro.core.measurement import PipelineRun, RunCollection, percentile
 from repro.core.probe import ProbeEffect
 from repro.core.report import render_table
+from repro.core.result import ExperimentResult
 from repro.core.taxonomy import (
     CATEGORY_ALGORITHMS,
     CATEGORY_FRAMEWORKS,
@@ -32,6 +33,7 @@ from repro.core.taxonomy import (
 from repro.core.variability import VariabilityStats
 
 __all__ = [
+    "ExperimentResult",
     "StageBreakdown",
     "ai_tax_fraction",
     "breakdown",

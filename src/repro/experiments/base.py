@@ -1,47 +1,8 @@
-"""Experiment result container and registry."""
+"""Experiment registry; the result container lives in repro.core."""
 
-from dataclasses import dataclass, field
-
-from repro.core.report import render_table
+from repro.core.result import ExperimentResult  # noqa: F401 - re-export
 
 REGISTRY = {}
-
-
-@dataclass
-class ExperimentResult:
-    """Tabular output of one experiment plus free-form extras."""
-
-    experiment_id: str
-    title: str
-    headers: tuple
-    rows: list
-    #: Named latency series for figure-style outputs (x -> [values]).
-    series: dict = field(default_factory=dict)
-    notes: list = field(default_factory=list)
-
-    def render(self):
-        text = render_table(
-            self.headers, self.rows,
-            title=f"[{self.experiment_id}] {self.title}",
-        )
-        if self.notes:
-            text += "\n" + "\n".join(f"note: {note}" for note in self.notes)
-        return text
-
-    def column(self, header):
-        """Extract one column as a list (headers matched exactly)."""
-        try:
-            index = list(self.headers).index(header)
-        except ValueError:
-            raise KeyError(
-                f"no column {header!r}; have {self.headers}"
-            ) from None
-        return [row[index] for row in self.rows]
-
-    def row_map(self, key_header):
-        """Dict of key-column value -> row."""
-        index = list(self.headers).index(key_header)
-        return {row[index]: row for row in self.rows}
 
 
 def experiment(experiment_id):

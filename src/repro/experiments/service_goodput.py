@@ -155,7 +155,7 @@ def run_chaos(devices=12, duration_s=1.0, seed=5, slo_ms=50.0,
               fault_rates=DEFAULT_FAULT_RATES, max_batch=4,
               max_delay_ms=5.0, queue_capacity=128, policy="reject",
               calibration_runs=3, load_factor=0.5):
-    from repro.fleet.population import chaos_population
+    from repro.fleet import chaos_population
     from repro.service import (
         ServiceConfig,
         build_pool,

@@ -32,6 +32,7 @@ from repro.fleet.supervisor import (
     run_key_for,
 )
 from repro.fleet.session import (
+    STAGE_FIELDS,
     SessionResult,
     SessionSpec,
     session_payload_digest,
@@ -41,6 +42,7 @@ from repro.fleet.session import (
 
 __all__ = [
     "Axis",
+    "STAGE_FIELDS",
     "CacheDigestError",
     "DevicePopulation",
     "FleetAggregate",

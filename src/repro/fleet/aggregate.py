@@ -11,7 +11,7 @@ quantized-app capture+pre+post share (Takeaway 1).
 from dataclasses import dataclass, field
 
 from repro.core import percentile
-from repro.experiments.base import ExperimentResult
+from repro.core.result import ExperimentResult
 from repro.fleet.session import STAGE_FIELDS, SessionResult
 from repro.sim import units
 

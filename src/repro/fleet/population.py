@@ -228,7 +228,7 @@ def expand_population(population, sessions, seed=0):
     ``RngStreams(seed).spawn(session_id)`` so simulation randomness is
     independent per session and independent of the sampling stream.
     """
-    from repro.sim.rng import RngStreams
+    from repro.sim import RngStreams
 
     if sessions < 1:
         raise ValueError(f"sessions must be >= 1, got {sessions}")

@@ -7,7 +7,7 @@ fully cover — partial delegation with CPU fallback is NNAPI's job, see
 
 from repro.android.thread import Sleep, WaitFor, Work
 from repro.frameworks.support import supports_op
-from repro.models.tensor import dtype_bytes
+from repro.models import dtype_bytes
 from repro.soc import params as soc_params
 
 #: DSP-side graph preparation per op at delegate init.

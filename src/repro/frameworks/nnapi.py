@@ -29,8 +29,8 @@ from repro.frameworks.cpu_kernels import (
 )
 from repro.frameworks.support import supports_op
 from repro.frameworks.tflite import run_graph_on_cpu
-from repro.observability.probes import probe
-from repro.models.tensor import dtype_bytes
+from repro.sim.probes import probe
+from repro.models import dtype_bytes
 
 #: Compilation cost: base plus per-op partitioning work.
 _COMPILE_BASE_US = 900.0

@@ -14,7 +14,7 @@ from repro.frameworks.base import InferenceSession, InferenceStats, UnsupportedM
 from repro.frameworks.delegates import SNPE_DSP_TUNING
 from repro.frameworks.support import supports_op
 from repro.frameworks.tflite import run_graph_on_cpu
-from repro.models.tensor import dtype_bytes
+from repro.models import dtype_bytes
 
 #: DLC model conversion/load cost per op.
 _DLC_LOAD_PER_OP_US = 5.0

@@ -13,7 +13,7 @@ from repro.frameworks.cpu_kernels import (
     graph_cpu_work_us,
     parallel_efficiency,
 )
-from repro.observability.probes import probe
+from repro.sim.probes import probe
 
 #: Flatbuffer parse cost per op during model load.
 _PARSE_PER_OP_US = 1.5

@@ -26,13 +26,14 @@ from repro.models.ops import (
     softmax,
 )
 from repro.models.quantize import quantize_graph
-from repro.models.tensor import TensorSpec
+from repro.models.tensor import TensorSpec, dtype_bytes
 from repro.models.zoo import MODEL_CARDS, ModelCard, load_model, model_card
 
 __all__ = [
     "ModelGraph",
     "Op",
     "TensorSpec",
+    "dtype_bytes",
     "activation",
     "add",
     "attention_scores",

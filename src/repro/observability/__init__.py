@@ -8,8 +8,10 @@ instrumentation backbone:
 * :mod:`repro.observability.chrome_trace` converts a
   :class:`~repro.sim.trace.TraceRecorder` into Chrome trace-event JSON
   loadable at ``chrome://tracing`` or https://ui.perfetto.dev;
-* :mod:`repro.observability.probes` is the span-context API the hot
-  paths (FastRPC, NNAPI, TFLite, scheduler, app stages) are wired with;
+* :mod:`repro.sim.probes` is the span-context API the hot paths
+  (FastRPC, NNAPI, TFLite, scheduler, app stages) are wired with —
+  re-exported here (and as :mod:`repro.observability.probes`) for
+  convenience;
 * :mod:`repro.observability.summary` rolls spans up into per-track,
   per-label exclusive/inclusive self-time tables;
 * :mod:`repro.observability.scenarios` names ready-made configurations
@@ -23,7 +25,7 @@ from repro.observability.chrome_trace import (
     track_sort_key,
     write_chrome_trace,
 )
-from repro.observability.probes import counter, instant, probe
+from repro.sim.probes import counter, instant, probe
 from repro.observability.summary import (
     LabelStat,
     TraceSummary,

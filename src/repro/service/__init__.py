@@ -4,7 +4,7 @@ The paper measures per-device AI tax; this package builds the layer a
 "millions of users" deployment puts above those devices: a simulated
 cloud/edge inference service whose backends are
 :mod:`repro.fleet` population members. Open-loop Poisson/diurnal
-traffic (:mod:`~repro.service.arrivals`) flows through bounded
+traffic (:mod:`~repro.apps.arrivals`) flows through bounded
 admission (:mod:`~repro.service.admission`), deterministic
 join-shortest-queue routing and per-backend dynamic batching
 (:mod:`~repro.service.router`, :mod:`~repro.service.batcher`) over a
@@ -25,7 +25,7 @@ from repro.service.admission import (
     POLICY_SHED,
     AdmissionQueue,
 )
-from repro.service.arrivals import (
+from repro.apps.arrivals import (
     ARRIVAL_KINDS,
     DiurnalArrivals,
     PoissonArrivals,

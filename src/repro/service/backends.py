@@ -20,7 +20,7 @@ exactly the goodput-collapse mechanism the chaos experiment measures.
 
 from dataclasses import dataclass
 
-from repro.fleet.session import (
+from repro.fleet import (
     STAGE_FIELDS,
     SessionSpec,
     simulate_session_payload,
@@ -165,7 +165,7 @@ def build_pool(population=None, devices=4, seed=0, runs=3, fault_rate=None,
     does, shrinking the pool. Raises when *no* session survives, since
     a service with zero backends cannot run at all.
     """
-    from repro.fleet.population import expand_population, paper_population
+    from repro.fleet import expand_population, paper_population
 
     if population is None:
         population = paper_population()

@@ -32,7 +32,7 @@ States
 
 from dataclasses import dataclass
 
-from repro.observability.probes import counter, instant
+from repro.sim.probes import counter, instant
 
 STATE_CLOSED = "closed"
 STATE_OPEN = "open"

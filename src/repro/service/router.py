@@ -23,7 +23,7 @@ and an SSR fault additionally costs the backend a reboot window.
 """
 
 from repro.faults import FAULT_SSR
-from repro.observability.probes import counter, instant
+from repro.sim.probes import counter, instant
 from repro.service.request import OUTCOME_FAILED, OUTCOME_OK
 
 

@@ -36,7 +36,7 @@ from repro.service.admission import (
     AdmissionQueue,
     POLICIES,
 )
-from repro.service.arrivals import ARRIVAL_KINDS, POISSON, make_arrivals
+from repro.apps.arrivals import ARRIVAL_KINDS, POISSON, make_arrivals
 from repro.service.backends import build_pool
 from repro.service.batcher import DynamicBatcher
 from repro.service.health import (

@@ -9,16 +9,25 @@ Time is a float in **microseconds**; helpers in :mod:`repro.sim.units`
 convert to and from milliseconds and seconds.
 """
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import (
+    Simulator,
+    sanitize_enabled,
+    set_sanitize_default,
+)
 from repro.sim.events import Event, Timeout, AllOf, AnyOf, Interrupted
 from repro.sim.process import Process
 from repro.sim.resources import Resource, PriorityResource, Store
 from repro.sim.rng import RngStreams
+from repro.sim.sanitizer import Sanitizer, SanitizerError
 from repro.sim.trace import Span, TraceRecorder
 from repro.sim import units
 
 __all__ = [
     "Simulator",
+    "Sanitizer",
+    "SanitizerError",
+    "sanitize_enabled",
+    "set_sanitize_default",
     "Event",
     "Timeout",
     "AllOf",

@@ -19,7 +19,8 @@ from repro.sim.process import Process
 from repro.sim.rng import RngStreams
 from repro.sim.trace import TraceRecorder
 
-#: Process-local override for sanitizing new simulators; toggled by
+#: Process-local override for sanitizing new simulators; toggled via
+#: :func:`set_sanitize_default` (on the ``repro.sim`` surface) by
 #: ``repro.analysis.sanitize.collecting`` and the CLI ``--sanitize``
 #: flags. The ``REPRO_SANITIZE`` environment variable has the same
 #: effect without touching code.
@@ -55,7 +56,7 @@ class Simulator:
     trace:
         When True, a :class:`TraceRecorder` collects spans and counters.
     sanitize:
-        When True, attach a :class:`~repro.analysis.sanitize.Sanitizer`
+        When True, attach a :class:`~repro.sim.sanitizer.Sanitizer`
         that checks run-loop invariants and records the event-stream
         replay digest. ``None`` (the default) defers to
         :func:`sanitize_enabled` — the ``REPRO_SANITIZE`` environment
@@ -82,7 +83,7 @@ class Simulator:
         if sanitize is None:
             sanitize = sanitize_enabled()
         if sanitize:
-            from repro.analysis.sanitize import Sanitizer
+            from repro.sim.sanitizer import Sanitizer
 
             self.sanitizer = Sanitizer(self)
 

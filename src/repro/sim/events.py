@@ -10,7 +10,7 @@ one. They use ``__slots__``, and default labels (``timeout(3000.0)``)
 are rendered *lazily* through the :attr:`Event.name` property so that an
 untraced, unsanitized run never pays for a string it never reads. The
 rendered text is byte-identical to the eager form, which the replay
-digest (:mod:`repro.analysis.sanitize`) depends on.
+digest (:mod:`repro.sim.sanitizer`) depends on.
 """
 
 from heapq import heappush

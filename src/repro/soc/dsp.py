@@ -13,7 +13,7 @@ latency growth in the paper's Fig. 9.
 """
 
 from repro.sim import units
-from repro.sim.resources import Resource
+from repro.sim import Resource
 from repro.soc import params
 from repro.soc.cost_tables import build_table, lookup_table
 

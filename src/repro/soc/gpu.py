@@ -8,7 +8,7 @@ buffers, which is the behaviour relevant to the paper.
 """
 
 from repro.sim import units
-from repro.sim.resources import Resource
+from repro.sim import Resource
 from repro.soc import params
 from repro.soc.cost_tables import build_table, lookup_table
 

@@ -1,0 +1,136 @@
+"""The shared checker machinery itself: pragmas, baselines, JSON.
+
+lint/semcheck/archcheck all ride on analysis/common.py and
+analysis/baseline.py; these tests pin the cross-tool contract — one
+pragma namespace spanning every checker, baselines that only shrink,
+and a stable JSON finding schema.
+"""
+
+import json
+
+from repro.analysis import archcheck, baseline, common, lint, semcheck
+
+
+def test_known_rule_ids_union_all_three_checkers():
+    known = common.known_rule_ids()
+    assert set(lint.RULES_BY_ID) <= known
+    assert set(semcheck.RULES_BY_ID) <= known
+    assert set(archcheck.RULES_BY_ID) <= known
+    # The checkers own disjoint rule-id namespaces.
+    assert not set(lint.RULES_BY_ID) & set(archcheck.RULES_BY_ID)
+    assert not set(semcheck.RULES_BY_ID) & set(archcheck.RULES_BY_ID)
+
+
+def test_pragma_for_another_checker_is_inert_not_an_error(tmp_path):
+    # A file carrying only archcheck pragmas must lint clean: shared
+    # namespace means no checker rejects another checker's rule ids.
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "# repro: allow-file[sim-blocking-call]\n"
+        "VALUE = 1  # repro: allow[layer-violation]\n"
+    )
+    findings, errors = lint.lint_paths([target])
+    assert findings == []
+    assert errors == []
+    findings, errors = semcheck.semcheck_paths([target])
+    assert findings == []
+    assert errors == []
+
+
+def test_findings_to_json_schema():
+    finding = common.Finding("wall-clock", "a.py", 3, 7, "tick")
+    payload = common.findings_to_json([finding])
+    assert json.loads(json.dumps(payload)) == [{
+        "rule": "wall-clock",
+        "path": "a.py",
+        "line": 3,
+        "col": 7,
+        "message": "tick",
+    }]
+
+
+def test_baseline_round_trip_preserves_unknown_free_entries(tmp_path):
+    path = tmp_path / "baseline.json"
+    findings = [
+        common.Finding("wall-clock", "b.py", 9, 0, "m"),
+        common.Finding("wall-clock", "a.py", 4, 0, "m"),
+    ]
+    count = baseline.write_baseline(path, findings)
+    assert count == 2
+    entries, errors = baseline.load_baseline(
+        path, known_rules=common.known_rule_ids()
+    )
+    assert errors == []
+    assert [e.key() for e in entries] == [
+        ("a.py", 4, "wall-clock"),
+        ("b.py", 9, "wall-clock"),
+    ]
+
+
+def test_baseline_rejects_rules_unknown_to_every_checker(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "version": 1,
+        "entries": [
+            {"rule": "sim-blocking-call", "path": "a.py", "line": 1},
+            {"rule": "never-a-rule", "path": "a.py", "line": 2},
+        ],
+    }))
+    entries, errors = baseline.load_baseline(
+        path, known_rules=common.known_rule_ids()
+    )
+    # The archcheck rule parses (family-wide namespace); the junk
+    # entry is a hard error, not a silent skip.
+    assert [e.rule for e in entries] == ["sim-blocking-call"]
+    assert len(errors) == 1
+    assert "never-a-rule" in errors[0].message
+
+
+def test_inventory_pragmas_lists_every_suppression(tmp_path):
+    first = tmp_path / "first.py"
+    first.write_text(
+        "import time\n"
+        "T0 = time.time()  # repro: allow[wall-clock]\n"
+    )
+    second = tmp_path / "second.py"
+    second.write_text("# repro: allow-file[unsorted-items, wall-clock]\n")
+    records, errors = common.inventory_pragmas([tmp_path])
+    assert errors == []
+    assert records == [
+        {
+            "path": str(first),
+            "line": 2,
+            "kind": "allow",
+            "rules": ["wall-clock"],
+        },
+        {
+            "path": str(second),
+            "line": 1,
+            "kind": "allow-file",
+            "rules": ["unsorted-items", "wall-clock"],
+        },
+    ]
+
+
+def test_inventory_pragmas_flags_unknown_rule_ids(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("VALUE = 1  # repro: allow[bogus-rule]\n")
+    records, errors = common.inventory_pragmas([tmp_path])
+    # The record still appears (the audit shows everything) but the
+    # unknown rule id is a hard error, exactly as in a check run.
+    assert [record["rules"] for record in records] == [["bogus-rule"]]
+    assert len(errors) == 1
+    assert "bogus-rule" in errors[0].message
+
+
+def test_repo_pragma_inventory_is_tiny():
+    # Every committed suppression must be deliberate; inventory the
+    # real tree so new pragmas show up in review.
+    import pathlib
+
+    src = pathlib.Path(common.__file__).resolve().parents[1]
+    records, errors = common.inventory_pragmas([src])
+    assert errors == []
+    assert len(records) <= 4, records
+    for record in records:
+        assert record["kind"] in {"allow", "allow-file"}

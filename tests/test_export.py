@@ -16,7 +16,7 @@ from repro.core.export import (
 from repro.core.measurement import PipelineRun, RunCollection
 from repro.experiments.base import ExperimentResult
 from repro.sim import Simulator
-from repro.sim.export import to_chrome_trace, write_chrome_trace
+from repro.observability import to_chrome_trace, write_chrome_trace
 
 
 def make_collection():
