@@ -6,15 +6,24 @@ Compares a fresh measurement against the committed
 * ``--fresh PATH`` — compare against an already-written snapshot (the
   CI job runs the pytest benchmark first, then points this at its
   output, so the fleet is only simulated once).
-* no ``--fresh`` — measure fleet throughput in-process right here.
+* no ``--fresh`` — measure in-process right here.
+
+Two metrics gate independently, and the failure message diffs which
+one regressed:
+
+* ``fleet.sessions_per_sec`` — end-to-end fleet throughput, the
+  headline number.
+* ``session_events.events_per_sec`` — raw event-loop retirement rate
+  of one representative session; catches engine-core regressions that
+  fleet-level batching can hide.
 
 Either way the committed snapshot's schema is validated first: a
 malformed or hand-trimmed snapshot fails before any number is read.
 Exit status 1 on schema or regression failure.
 
-Absolute sessions/sec is host-dependent, so the gate is relative —
-fresh must reach at least ``1 - THRESHOLD`` of the snapshot measured
-on the *same* host/checkout pair. See docs/performance.md.
+Absolute rates are host-dependent, so the gate is relative — fresh
+must reach at least ``1 - THRESHOLD`` of the snapshot measured on the
+*same* host/checkout pair. See docs/performance.md.
 """
 
 import argparse
@@ -25,8 +34,14 @@ import sys
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 SNAPSHOT_PATH = RESULTS_DIR / "BENCH_engine_throughput.json"
 
-#: Fractional drop in fleet sessions/sec that fails the gate.
+#: Fractional drop in either gated rate that fails the gate.
 THRESHOLD = 0.20
+
+#: (snapshot block, key, display name) for every gated metric.
+GATED_METRICS = (
+    ("fleet", "sessions_per_sec", "sessions/s"),
+    ("session_events", "events_per_sec", "events/s"),
+)
 
 #: Top-level keys every BENCH_engine_throughput.json must carry.
 SCHEMA_KEYS = frozenset({
@@ -42,6 +57,11 @@ FLEET_KEYS = frozenset({
     "sessions_per_sec",
 })
 
+SESSION_EVENT_KEYS = frozenset({
+    "model", "dtype", "context", "target", "events", "wall_s",
+    "events_per_sec",
+})
+
 
 def validate_schema(metrics, source):
     missing = SCHEMA_KEYS - metrics.keys()
@@ -53,8 +73,14 @@ def validate_schema(metrics, source):
     missing = FLEET_KEYS - metrics["fleet"].keys()
     if missing:
         raise SystemExit(f"{source}: fleet block missing {sorted(missing)}")
-    if metrics["fleet"]["sessions_per_sec"] <= 0:
-        raise SystemExit(f"{source}: non-positive sessions_per_sec")
+    missing = SESSION_EVENT_KEYS - metrics["session_events"].keys()
+    if missing:
+        raise SystemExit(
+            f"{source}: session_events block missing {sorted(missing)}"
+        )
+    for block, key, _label in GATED_METRICS:
+        if metrics[block][key] <= 0:
+            raise SystemExit(f"{source}: non-positive {block}.{key}")
 
 
 def load_metrics(path):
@@ -81,26 +107,62 @@ def main(argv=None):
     validate_schema(snapshot, str(args.snapshot))
 
     if args.fresh is not None:
-        fresh_metrics = load_metrics(args.fresh)
-        validate_schema(fresh_metrics, str(args.fresh))
-        fresh = fresh_metrics["fleet"]
+        fresh = load_metrics(args.fresh)
+        validate_schema(fresh, str(args.fresh))
     else:
-        from repro.analysis.engine_bench import measure_fleet_throughput
-
-        fresh = measure_fleet_throughput(
-            sessions=snapshot["fleet"]["sessions"],
-            runs=snapshot["fleet"]["runs_per_session"],
+        from repro.analysis.engine_bench import (
+            measure_fleet_throughput,
+            measure_session_events,
         )
 
-    old = snapshot["fleet"]["sessions_per_sec"]
-    new = fresh["sessions_per_sec"]
-    floor = (1.0 - THRESHOLD) * old
-    verdict = "ok" if new >= floor else "REGRESSION"
-    print(
-        f"engine-bench: snapshot {old:.1f} sessions/s, "
-        f"fresh {new:.1f} sessions/s, floor {floor:.1f} -> {verdict}"
-    )
-    return 0 if new >= floor else 1
+        events_block = snapshot["session_events"]
+        # The single-session walk is sub-10ms, so one sample is noise;
+        # take the best of a few, same spirit as the fleet's repeats.
+        session_events = max(
+            (
+                measure_session_events(
+                    model_key=events_block["model"],
+                    dtype=events_block["dtype"],
+                    context=events_block["context"],
+                    target=events_block["target"],
+                )
+                for _ in range(3)
+            ),
+            key=lambda sample: sample["events_per_sec"],
+        )
+        fresh = {
+            "fleet": measure_fleet_throughput(
+                sessions=snapshot["fleet"]["sessions"],
+                runs=snapshot["fleet"]["runs_per_session"],
+            ),
+            "session_events": session_events,
+        }
+
+    regressed = []
+    for block, key, label in GATED_METRICS:
+        old = snapshot[block][key]
+        new = fresh[block][key]
+        floor = (1.0 - THRESHOLD) * old
+        verdict = "ok" if new >= floor else "REGRESSION"
+        print(
+            f"engine-bench: {label} snapshot {old:.1f}, "
+            f"fresh {new:.1f}, floor {floor:.1f} -> {verdict}"
+        )
+        if new < floor:
+            regressed.append((label, new, floor))
+    if regressed:
+        healthy = [
+            label for _block, _key, label in GATED_METRICS
+            if label not in {row[0] for row in regressed}
+        ]
+        diff = "; ".join(
+            f"{label} fresh {new:.1f} < floor {floor:.1f}"
+            for label, new, floor in regressed
+        )
+        suffix = f" ({', '.join(healthy)} ok)" if healthy else ""
+        print(f"engine-bench: REGRESSION in {diff}{suffix}")
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

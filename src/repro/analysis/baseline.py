@@ -18,6 +18,7 @@ from repro.analysis.lint import RULES_BY_ID, LintError
 BASELINE_NAME = ".repro-lint-baseline.json"
 SEMCHECK_BASELINE_NAME = ".repro-semcheck-baseline.json"
 ARCHCHECK_BASELINE_NAME = ".repro-archcheck-baseline.json"
+RACECHECK_BASELINE_NAME = ".repro-racecheck-baseline.json"
 
 _VERSION = 1
 
@@ -109,3 +110,22 @@ def apply_baseline(findings, entries):
     present = {finding.key() for finding in findings}
     stale = [entry for entry in entries if entry.key() not in present]
     return new, stale
+
+
+def prune_baseline(path, findings, known_rules=None):
+    """Drop entries no current finding matches; the baseline only shrinks.
+
+    Returns ``(kept, pruned, errors)``. The file is rewritten only when
+    something was actually pruned, and never on a load error — a
+    baseline that cannot be trusted must not be "repaired" by a tool
+    that cannot read it.
+    """
+    entries, errors = load_baseline(path, known_rules=known_rules)
+    if errors:
+        return entries, [], errors
+    _new, stale = apply_baseline(findings, entries)
+    stale_keys = {entry.key() for entry in stale}
+    kept = [entry for entry in entries if entry.key() not in stale_keys]
+    if stale:
+        write_baseline(path, kept)
+    return kept, stale, []

@@ -5,8 +5,9 @@ Every checker speaks the same dialect: findings located at
 through ``# repro: allow[rule-id]`` pragmas, an acknowledged-findings
 baseline, and the 0/1/2 exit-code contract (clean / findings / the run
 itself cannot be trusted). This module holds the dialect so
-:mod:`repro.analysis.lint`, :mod:`repro.analysis.semcheck`, and
-:mod:`repro.analysis.archcheck` only contain rules.
+:mod:`repro.analysis.lint`, :mod:`repro.analysis.semcheck`,
+:mod:`repro.analysis.archcheck`, and :mod:`repro.analysis.racecheck`
+only contain rules.
 
 Pragmas are validated against the union of every checker's rule ids
 (:func:`known_rule_ids`): a pragma naming a rule another checker owns
@@ -71,13 +72,34 @@ _PRAGMA = re.compile(r"#\s*repro:\s*(allow|allow-file)\[([^\]]*)\]")
 
 def known_rule_ids():
     """Every rule id any checker owns (for pragma/typo validation)."""
-    from repro.analysis import archcheck, lint, semcheck
+    from repro.analysis import archcheck, lint, racecheck, semcheck
 
     return (
         frozenset(lint.RULES_BY_ID)
         | frozenset(semcheck.RULES_BY_ID)
         | frozenset(archcheck.RULES_BY_ID)
+        | frozenset(racecheck.RULES_BY_ID)
     )
+
+
+def rule_owners():
+    """Rule id -> owning checker name, across every checker.
+
+    Rule ids are globally unique (a test pins this), so one flat map
+    is enough to annotate a pragma with the tool it speaks to.
+    """
+    from repro.analysis import archcheck, lint, racecheck, semcheck
+
+    owners = {}
+    for name, rules in (
+        ("lint", lint.RULES_BY_ID),
+        ("semcheck", semcheck.RULES_BY_ID),
+        ("archcheck", archcheck.RULES_BY_ID),
+        ("racecheck", racecheck.RULES_BY_ID),
+    ):
+        for rule_id in rules:
+            owners[rule_id] = name
+    return owners
 
 
 def parse_pragmas(source, path, applicable=None, known=None):

@@ -85,6 +85,41 @@ class FastRpcStats:
         )
 
 
+class _StatsCommitLog:
+    """Deferred :class:`FastRpcStats` updates, committed atomically.
+
+    :meth:`FastRpcChannel.invoke` spans many yields; bumping the stats
+    fields inline would let an ``Interrupted`` (or a driver error) at
+    an interior yield leave the object torn between fields mid-call —
+    ``offload_overhead_us`` reads seven of them and assumes they move
+    together. Stage times are appended here instead and land on the
+    stats object in one step when the call settles, on *every* exit
+    path. Entries replay in append order, so each field's float sum is
+    the same left-fold it was under inline commits (bit-identical
+    accounting).
+    """
+
+    __slots__ = ("_stats", "_entries")
+
+    def __init__(self, stats):
+        self._stats = stats
+        self._entries = []
+
+    def add(self, entry):
+        """Queue one ``(field name, delta)`` update."""
+        self._entries.append(entry)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        stats = self._stats
+        for field, delta in self._entries:
+            setattr(stats, field, getattr(stats, field) + delta)
+        self._entries.clear()
+        return False
+
+
 class FastRpcTimeout(Exception):
     """The DSP did not become available within the driver timeout.
 
@@ -148,8 +183,12 @@ class FastRpcChannel:
                 # Remote loader + SMMU mapping run on the DSP side; the
                 # CPU thread blocks while holding nothing.
                 yield Sleep(params.FASTRPC_SESSION_OPEN_US)
-        self._session_open = True
-        self.stats.session_opens += 1
+        # Re-checked after the yields: a second body racing into open
+        # (or an SSR flipping the flag while we were suspended) must
+        # not double-count the open on the entry check alone.
+        if not self._session_open:
+            self._session_open = True
+            self.stats.session_opens += 1
         self.stats.session_open_us += self.kernel.now - start
 
     def invoke(self, input_bytes, output_bytes, dsp_compute_us, label="invoke"):
@@ -178,6 +217,10 @@ class FastRpcChannel:
             )
         if not self._session_open:
             yield from self.open_session()
+        # Stage accounting is deferred to this commit log and lands on
+        # ``self.stats`` in one atomic step when the call settles (any
+        # exit path) — see :class:`_StatsCommitLog`.
+        pending = _StatsCommitLog(self.stats)
         fault = None
         if self.fault_injector is not None:
             fault = self.fault_injector.draw(self.kernel.now)
@@ -194,14 +237,14 @@ class FastRpcChannel:
                 thermal.full_load_celsius, thermal.temperature + jump
             )
             thermal._apply_throttle()
-            self.stats.thermal_events += 1
+            pending.add(("thermal_events", 1))
             instant(sim, "fault:thermal",
                     {"process": self.process_id, "jump_c": jump})
             fault = None
 
         # The Fig. 7 call flow, each stage a nested span on the
         # "fastrpc" track (probes are no-ops when tracing is off).
-        with probe(sim, "fastrpc", "invoke:" + label) as span:
+        with pending, probe(sim, "fastrpc", "invoke:" + label) as span:
             if span is not None:
                 span.meta["process"] = self.process_id
                 span.meta["input_bytes"] = input_bytes
@@ -212,29 +255,29 @@ class FastRpcChannel:
                     params.FASTRPC_MARSHAL_US,
                     label=f"fastrpc:{label}:marshal",
                 )
-            self.stats.marshal_us += params.FASTRPC_MARSHAL_US
+            pending.add(("marshal_us", params.FASTRPC_MARSHAL_US))
 
             # Kernel entry + cache clean so the DSP sees our writes. The
             # flush is CPU work (cache maintenance by VA runs on the core).
             with probe(sim, "fastrpc", "kernel:ioctl"):
                 yield Work(params.IOCTL_US, label=f"fastrpc:{label}:ioctl")
-            self.stats.kernel_us += params.IOCTL_US
+            pending.add(("kernel_us", params.IOCTL_US))
             if self.dsp.coupling == "loose":
                 flush_us = memory.cache_flush_us(input_bytes)
                 with probe(sim, "fastrpc", "kernel:cache_flush"):
                     yield Work(flush_us, label=f"fastrpc:{label}:flush")
-                self.stats.cache_flush_us += flush_us
+                pending.add(("cache_flush_us", flush_us))
 
             # Signal the DSP and wait in its queue (capacity-1 device).
             yield Sleep(params.FASTRPC_SIGNAL_US)
-            self.stats.signal_us += params.FASTRPC_SIGNAL_US
+            pending.add(("signal_us", params.FASTRPC_SIGNAL_US))
             queue_start = self.kernel.now
             if fault is not None:
                 # Injected failures surface here, where a real wedged
                 # DSP or dead session would: after the CPU-side costs
                 # are sunk. _fail_injected always raises.
                 yield from self._fail_injected(fault, span, label,
-                                               queue_start)
+                                               queue_start, pending)
             # The grant is held in a with-block so the queue slot is
             # returned on *every* exit — the old try/finally started
             # after the queue wait, so an Interrupted thrown at the
@@ -255,15 +298,16 @@ class FastRpcChannel:
                             # is still charged. release() is
                             # idempotent, so the with-exit is a no-op.
                             request.release()
-                            self.stats.dsp_queue_us += (
-                                self.kernel.now - queue_start
+                            pending.add(
+                                ("dsp_queue_us",
+                                 self.kernel.now - queue_start)
                             )
                             yield Work(
                                 params.IOCTL_US,
                                 label=f"fastrpc:{label}:etimedout",
                             )
-                            self.stats.kernel_us += params.IOCTL_US
-                            self.stats.timeouts += 1
+                            pending.add(("kernel_us", params.IOCTL_US))
+                            pending.add(("timeouts", 1))
                             if span is not None:
                                 span.meta["status"] = "timeout"
                             raise FastRpcTimeout(
@@ -274,14 +318,16 @@ class FastRpcChannel:
                             )
                     else:
                         yield WaitFor(request)
-                self.stats.dsp_queue_us += self.kernel.now - queue_start
+                pending.add(
+                    ("dsp_queue_us", self.kernel.now - queue_start)
+                )
                 # Move inputs over AXI into VTCM, compute, move outputs
                 # back.
                 if self.dsp.coupling == "loose":
                     in_transfer = memory.axi_transfer_us(input_bytes)
                     with probe(sim, "fastrpc", "axi:input_transfer"):
                         yield Sleep(in_transfer)
-                    self.stats.transfer_us += in_transfer
+                    pending.add(("transfer_us", in_transfer))
                 span = None
                 if sim.trace is not None:
                     span = sim.trace.begin(
@@ -296,33 +342,38 @@ class FastRpcChannel:
                 self.soc.energy.add_dsp_busy(
                     params.FASTRPC_DSP_DISPATCH_US + dsp_compute_us
                 )
-                self.stats.dsp_compute_us += dsp_compute_us
+                pending.add(("dsp_compute_us", dsp_compute_us))
                 if self.dsp.coupling == "loose":
                     out_transfer = memory.axi_transfer_us(output_bytes)
                     with probe(sim, "fastrpc", "axi:output_transfer"):
                         yield Sleep(out_transfer)
-                    self.stats.transfer_us += out_transfer
+                    pending.add(("transfer_us", out_transfer))
 
             # DSP -> CPU completion signal, kernel exit, invalidate
             # outputs.
             yield Sleep(params.FASTRPC_SIGNAL_US)
-            self.stats.signal_us += params.FASTRPC_SIGNAL_US
+            pending.add(("signal_us", params.FASTRPC_SIGNAL_US))
             if self.dsp.coupling == "loose":
                 invalidate_us = memory.cache_flush_us(output_bytes)
                 with probe(sim, "fastrpc", "kernel:cache_invalidate"):
                     yield Work(
                         invalidate_us, label=f"fastrpc:{label}:invalidate"
                     )
-                self.stats.cache_flush_us += invalidate_us
+                pending.add(("cache_flush_us", invalidate_us))
             with probe(sim, "fastrpc", "kernel:ioctl_return"):
                 yield Work(params.IOCTL_US, label=f"fastrpc:{label}:ret")
-            self.stats.kernel_us += params.IOCTL_US
+            pending.add(("kernel_us", params.IOCTL_US))
 
         self.stats.calls += 1
         return self.kernel.now - start
 
-    def _fail_injected(self, fault, span, label, queue_start):
-        """Surface an injected fault as the driver would. Always raises."""
+    def _fail_injected(self, fault, span, label, queue_start, pending):
+        """Surface an injected fault as the driver would. Always raises.
+
+        ``pending`` is the caller's :class:`_StatsCommitLog`; it
+        commits when :meth:`invoke` unwinds, so the failure accounting
+        lands atomically with the stage times already logged.
+        """
         sim = self.kernel.sim
         instant(sim, f"fault:{fault.kind}",
                 {"process": self.process_id, "call": label})
@@ -339,10 +390,10 @@ class FastRpcChannel:
             with probe(sim, "fastrpc", "dsp:queue",
                        {"depth": self.dsp.resource.queue_length}):
                 yield Sleep(wait)
-            self.stats.dsp_queue_us += self.kernel.now - queue_start
+            pending.add(("dsp_queue_us", self.kernel.now - queue_start))
             yield Work(params.IOCTL_US, label=f"fastrpc:{label}:etimedout")
-            self.stats.kernel_us += params.IOCTL_US
-            self.stats.timeouts += 1
+            pending.add(("kernel_us", params.IOCTL_US))
+            pending.add(("timeouts", 1))
             raise FastRpcTimeout(
                 f"injected: DSP unresponsive for {wait:.0f}us"
             )
@@ -354,8 +405,8 @@ class FastRpcChannel:
             dropped = self.dsp.restart()
             self._session_open = False
             yield Work(params.IOCTL_US, label=f"fastrpc:{label}:ssr")
-            self.stats.kernel_us += params.IOCTL_US
-            self.stats.ssr_events += 1
+            pending.add(("kernel_us", params.IOCTL_US))
+            pending.add(("ssr_events", 1))
             raise FastRpcSessionDeath(
                 f"injected: DSP subsystem restart dropped {dropped} "
                 "process mappings"
@@ -365,8 +416,8 @@ class FastRpcChannel:
             self.dsp.unmap_process(self.process_id)
             self._session_open = False
             yield Work(params.IOCTL_US, label=f"fastrpc:{label}:enosuchdev")
-            self.stats.kernel_us += params.IOCTL_US
-            self.stats.session_deaths += 1
+            pending.add(("kernel_us", params.IOCTL_US))
+            pending.add(("session_deaths", 1))
             raise FastRpcSessionDeath(
                 f"injected: driver killed session for process "
                 f"{self.process_id}"

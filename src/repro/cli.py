@@ -390,24 +390,59 @@ def _print_outcome(outcome, render, clean_label, as_json, diag):
 
 
 def _list_pragmas(args):
-    """The ``--list-pragmas`` audit: inventory every suppression."""
-    from repro.analysis.common import inventory_pragmas
+    """The ``--list-pragmas`` audit: one merged, deduplicated table.
+
+    Rows are keyed by ``file:line`` — the same table whichever checker
+    (or the ``check`` umbrella) asks for it, since pragmas are a
+    shared namespace. Each rule is annotated with the checker that
+    owns it; a rule no tool recognizes is flagged inline and is an
+    error, exactly as it would be during a check run.
+    """
+    from repro.analysis.common import inventory_pragmas, rule_owners
 
     records, errors = inventory_pragmas(_default_paths(args))
+    owners = rule_owners()
+    merged = {}
+    for record in records:
+        key = (record["path"], record["line"], record["kind"])
+        row = merged.setdefault(key, [])
+        for rule in record["rules"]:
+            if rule not in row:
+                row.append(rule)
+    rows = []
+    for (path, line, kind), rules in sorted(merged.items()):
+        tools = sorted({owners[rule] for rule in rules if rule in owners})
+        unrecognized = [rule for rule in rules if rule not in owners]
+        rows.append({
+            "path": path,
+            "line": line,
+            "kind": kind,
+            "rules": rules,
+            "tools": tools,
+            "unrecognized": unrecognized,
+        })
+
     as_json = args.format == "json" or getattr(args, "json", False)
     diag = sys.stderr if as_json else sys.stdout
     if as_json:
         import json
 
-        print(json.dumps(records, indent=2))
+        print(json.dumps(rows, indent=2))
     else:
-        for record in records:
-            rules = ", ".join(record["rules"])
-            print(
-                f"{record['path']}:{record['line']}: "
-                f"{record['kind']}[{rules}]"
+        for row in rows:
+            rules = ", ".join(row["rules"])
+            line = (
+                f"{row['path']}:{row['line']}: {row['kind']}[{rules}]"
             )
-        print(f"{len(records)} pragma(s)", file=diag)
+            if row["tools"]:
+                line += f" ({', '.join(row['tools'])})"
+            if row["unrecognized"]:
+                line += (
+                    " — unrecognized by every tool: "
+                    + ", ".join(row["unrecognized"])
+                )
+            print(line)
+        print(f"{len(rows)} pragma(s)", file=diag)
     for error in errors:
         print(error.render(), file=diag)
     return 2 if errors else 0
@@ -437,6 +472,24 @@ def _run_checker(args, check_paths, render, known_rules, default_baseline,
             print(error.render())
         return 2 if errors else 0
 
+    if getattr(args, "update_baseline", False):
+        findings, errors = check_paths(paths)
+        target = args.baseline or default_baseline
+        kept, pruned, prune_errors = baseline_mod.prune_baseline(
+            target, findings, known_rules=known_rules
+        )
+        errors = list(errors) + list(prune_errors)
+        for entry in pruned:
+            print(f"pruned {entry.path}:{entry.line} [{entry.rule}]")
+        print(
+            f"{target}: pruned {len(pruned)} stale entr"
+            f"{'y' if len(pruned) == 1 else 'ies'}, "
+            f"{len(kept)} kept"
+        )
+        for error in errors:
+            print(error.render())
+        return 2 if errors else 0
+
     outcome = _checker_outcome(
         paths, check_paths, known_rules, default_baseline,
         baseline=args.baseline, strict=args.check,
@@ -453,6 +506,7 @@ def _checker_table(args):
     from repro.analysis import archcheck as archcheck_mod
     from repro.analysis import baseline as baseline_mod
     from repro.analysis import lint as lint_mod
+    from repro.analysis import racecheck as racecheck_mod
     from repro.analysis import semcheck as semcheck_mod
 
     contract_path = getattr(args, "contract", None)
@@ -474,6 +528,11 @@ def _checker_table(args):
             ),
             archcheck_mod.render_findings, archcheck_mod.RULES_BY_ID,
             baseline_mod.ARCHCHECK_BASELINE_NAME, "archcheck",
+        ),
+        (
+            "racecheck", racecheck_mod.racecheck_paths,
+            racecheck_mod.render_findings, racecheck_mod.RULES_BY_ID,
+            baseline_mod.RACECHECK_BASELINE_NAME, "racecheck",
         ),
     )
 
@@ -522,8 +581,42 @@ def _cmd_archcheck(args):
     )
 
 
+def _cmd_racecheck(args):
+    from repro.analysis import baseline as baseline_mod
+    from repro.analysis import racecheck as racecheck_mod
+
+    if getattr(args, "list_locks", False):
+        records, errors = racecheck_mod.lock_inventory(_default_paths(args))
+        as_json = args.format == "json"
+        diag = sys.stderr if as_json else sys.stdout
+        if as_json:
+            import json
+
+            print(json.dumps(records, indent=2))
+        else:
+            for record in records:
+                locks = ", ".join(record["locks"])
+                print(
+                    f"{record['path']}:{record['line']}: "
+                    f"{record['function']} yields holding [{locks}]"
+                )
+            print(f"{len(records)} yield(s) while holding", file=diag)
+        for error in errors:
+            print(error.render(), file=diag)
+        return 2 if errors else 0
+
+    return _run_checker(
+        args,
+        check_paths=racecheck_mod.racecheck_paths,
+        render=racecheck_mod.render_findings,
+        known_rules=racecheck_mod.RULES_BY_ID,
+        default_baseline=baseline_mod.RACECHECK_BASELINE_NAME,
+        clean_label="racecheck",
+    )
+
+
 def _cmd_check(args):
-    """Umbrella: lint + semcheck + archcheck (+ optional dual-runs).
+    """Umbrella: lint + semcheck + archcheck + racecheck (+ dual-runs).
 
     One command for CI: every static checker over the same paths, a
     merged exit code (worst of the parts), and in ``--format=json`` a
@@ -531,11 +624,11 @@ def _cmd_check(args):
     """
     if getattr(args, "list_pragmas", False):
         return _list_pragmas(args)
-    if args.write_baseline or args.baseline:
+    if args.write_baseline or args.update_baseline or args.baseline:
         print(
             "error: check runs every tool against its own default "
-            "baseline; use the per-tool commands to write or point at "
-            "one"
+            "baseline; use the per-tool commands to write, prune, or "
+            "point at one"
         )
         return 2
     from repro.analysis.common import findings_to_json
@@ -686,6 +779,11 @@ def _add_checker_arguments(parser, baseline_name):
     parser.add_argument(
         "--write-baseline", action="store_true",
         help="acknowledge all current findings into the baseline",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="prune stale baseline entries (acknowledged findings that "
+             "no longer exist); never adds entries",
     )
     parser.add_argument(
         "--check", action="store_true",
@@ -974,10 +1072,22 @@ def build_parser():
              "working directory)",
     )
 
+    racecheck_parser = sub.add_parser(
+        "racecheck",
+        help="yield-point atomicity and lockset analysis of the "
+             "cooperative DES process bodies (docs/analysis.md)",
+    )
+    _add_checker_arguments(racecheck_parser, ".repro-racecheck-baseline.json")
+    racecheck_parser.add_argument(
+        "--list-locks", action="store_true",
+        help="inventory every yield executed while a Resource grant is "
+             "held instead of running rules",
+    )
+
     check_parser = sub.add_parser(
         "check",
-        help="umbrella: lint + semcheck + archcheck over the same "
-             "paths with a merged exit code (docs/analysis.md)",
+        help="umbrella: lint + semcheck + archcheck + racecheck over "
+             "the same paths with a merged exit code (docs/analysis.md)",
     )
     _add_checker_arguments(check_parser, "<per-tool defaults>")
     check_parser.add_argument(
@@ -1032,6 +1142,7 @@ _HANDLERS = {
     "lint": _cmd_lint,
     "semcheck": _cmd_semcheck,
     "archcheck": _cmd_archcheck,
+    "racecheck": _cmd_racecheck,
     "check": _cmd_check,
     "sanitize": _cmd_sanitize,
     "report": _cmd_report,

@@ -154,8 +154,9 @@ class NnapiSession(InferenceSession):
                     + self.model.op_count * _COMPILE_PER_OP_US,
                     label="nnapi:compile",
                 )
-                self.partitions = self.plan_partitions()
-            devices = {partition.device for partition in self.partitions}
+                partitions = self.plan_partitions()
+                self.partitions = partitions
+            devices = {partition.device for partition in partitions}
             if "dsp" in devices or self.model.dtype == "int8":
                 # The DSP driver is probed during compilation (capability
                 # query + test handshake) — the brief cDSP spike at the
@@ -187,7 +188,11 @@ class NnapiSession(InferenceSession):
                         -1, before, after,
                         retries=retries_after - retries_before,
                     )
-            if "gpu" in devices:
+            # Re-derived from the *current* plan: the DSP probe above
+            # may have abandoned the accelerator partitions entirely
+            # (compile fallback), and a plan with no GPU partitions
+            # initializes no GPU delegate.
+            if "gpu" in {p.device for p in self.partitions}:
                 gpu = self.kernel.soc.gpu
                 with probe(self.kernel, "nnapi", "driver_probe:gpu"):
                     yield Work(

@@ -1,0 +1,14 @@
+"""Check-then-act split across a yield: the classic lost update."""
+
+from repro.sim.events import Sleep
+
+
+class Channel:
+    def open_session(self):
+        if not self.opened:
+            yield Sleep(10.0)
+            self.opened = True
+
+    def reset(self):
+        self.opened = False
+        yield Sleep(1.0)

@@ -1,0 +1,17 @@
+"""A Resource held across the read-modify-write window guards it."""
+
+from repro.sim.events import Sleep, WaitFor
+
+
+class Channel:
+    def open_session(self):
+        with self.lock.request() as grant:
+            yield WaitFor(grant)
+            if not self.opened:
+                yield Sleep(10.0)
+                self.opened = True
+
+    def reset(self):
+        with self.lock.request() as grant:
+            yield WaitFor(grant)
+            self.opened = False

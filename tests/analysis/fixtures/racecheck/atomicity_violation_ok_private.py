@@ -1,0 +1,10 @@
+"""State nobody else writes cannot be invalidated at the yield."""
+
+from repro.sim.events import Sleep
+
+
+class Worker:
+    def run(self):
+        if not self.done:
+            yield Sleep(5.0)
+            self.done = True

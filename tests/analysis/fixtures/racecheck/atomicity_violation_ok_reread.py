@@ -1,0 +1,15 @@
+"""Re-reading after the last yield makes check and write atomic."""
+
+from repro.sim.events import Sleep
+
+
+class Channel:
+    def open_session(self):
+        if not self.opened:
+            yield Sleep(10.0)
+            if not self.opened:
+                self.opened = True
+
+    def reset(self):
+        self.opened = False
+        yield Sleep(1.0)

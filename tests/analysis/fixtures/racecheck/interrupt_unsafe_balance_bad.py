@@ -1,0 +1,14 @@
+"""A +=/-= balance pair split across an unprotected yield."""
+
+from repro.sim.events import Sleep
+
+
+class Backend:
+    def serve(self):
+        self.inflight += 1
+        yield Sleep(10.0)
+        self.inflight -= 1
+
+    def depth(self):
+        yield Sleep(1.0)
+        return self.inflight

@@ -1,0 +1,16 @@
+"""The balancing decrement in a finally survives the interrupt."""
+
+from repro.sim.events import Sleep
+
+
+class Backend:
+    def serve(self):
+        self.inflight += 1
+        try:
+            yield Sleep(10.0)
+        finally:
+            self.inflight -= 1
+
+    def depth(self):
+        yield Sleep(1.0)
+        return self.inflight

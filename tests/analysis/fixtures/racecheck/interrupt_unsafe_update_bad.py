@@ -1,0 +1,14 @@
+"""Two fields of one object written across an unprotected yield."""
+
+from repro.sim.events import Sleep
+
+
+class Channel:
+    def invoke(self):
+        self.stats.calls += 1
+        yield Sleep(10.0)
+        self.stats.busy_us += 10.0
+
+    def snapshot(self):
+        yield Sleep(1.0)
+        return (self.stats.calls, self.stats.busy_us)

@@ -1,0 +1,16 @@
+"""Accumulate into locals, commit after the last yield in one step."""
+
+from repro.sim.events import Sleep
+
+
+class Channel:
+    def invoke(self):
+        busy = 0.0
+        yield Sleep(10.0)
+        busy += 10.0
+        self.stats.calls += 1
+        self.stats.busy_us += busy
+
+    def snapshot(self):
+        yield Sleep(1.0)
+        return (self.stats.calls, self.stats.busy_us)

@@ -1,0 +1,17 @@
+"""try/finally around the interior yield: no torn multi-field update."""
+
+from repro.sim.events import Sleep
+
+
+class Channel:
+    def invoke(self):
+        try:
+            self.stats.calls += 1
+            yield Sleep(10.0)
+            self.stats.busy_us += 10.0
+        finally:
+            self.stats.settled += 1
+
+    def snapshot(self):
+        yield Sleep(1.0)
+        return (self.stats.calls, self.stats.busy_us)

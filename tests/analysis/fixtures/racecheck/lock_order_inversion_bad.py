@@ -1,0 +1,17 @@
+"""Two Resources taken in opposite orders on different paths."""
+
+from repro.sim.events import WaitFor
+
+
+class Transfer:
+    def move_ab(self):
+        with self.bus_a.request() as first:
+            yield WaitFor(first)
+            with self.bus_b.request() as second:
+                yield WaitFor(second)
+
+    def move_ba(self):
+        with self.bus_b.request() as first:
+            yield WaitFor(first)
+            with self.bus_a.request() as second:
+                yield WaitFor(second)

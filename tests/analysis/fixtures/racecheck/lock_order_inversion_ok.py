@@ -1,0 +1,17 @@
+"""One global acquisition order: every path nests the same way."""
+
+from repro.sim.events import WaitFor
+
+
+class Transfer:
+    def move_one(self):
+        with self.bus_a.request() as first:
+            yield WaitFor(first)
+            with self.bus_b.request() as second:
+                yield WaitFor(second)
+
+    def move_two(self):
+        with self.bus_a.request() as first:
+            yield WaitFor(first)
+            with self.bus_b.request() as second:
+                yield WaitFor(second)

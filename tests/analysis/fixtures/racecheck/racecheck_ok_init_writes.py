@@ -1,0 +1,14 @@
+"""Constructor-time writes never race with running processes."""
+
+from repro.sim.events import Sleep
+
+
+class Worker:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.done = False
+
+    def run(self):
+        if not self.done:
+            yield Sleep(5.0)
+            self.done = True

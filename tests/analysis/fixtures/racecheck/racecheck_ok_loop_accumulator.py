@@ -1,0 +1,21 @@
+"""Retry-loop accumulators commit whole between yields, every pass."""
+
+from repro.sim.events import Sleep
+
+
+class Channel:
+    def retry(self):
+        attempt = 0
+        while True:
+            try:
+                yield Sleep(5.0)
+                return True
+            except TimeoutError:
+                attempt += 1
+                self.stats.retries += 1
+                self.stats.backoff_us += 2.0
+                yield Sleep(2.0)
+
+    def snapshot(self):
+        yield Sleep(1.0)
+        return (self.stats.retries, self.stats.backoff_us)

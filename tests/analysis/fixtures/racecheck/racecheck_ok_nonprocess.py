@@ -1,0 +1,17 @@
+"""Plain (non-yielding) methods are not preemptible: never analyzed."""
+
+from repro.sim.events import Sleep
+
+
+class Config:
+    def toggle(self):
+        if not self.enabled:
+            self.enabled = True
+
+    def apply(self, value):
+        self.enabled = value
+
+    def run(self):
+        yield Sleep(1.0)
+        if self.enabled:
+            yield Sleep(2.0)

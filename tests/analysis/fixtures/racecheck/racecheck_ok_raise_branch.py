@@ -1,0 +1,17 @@
+"""An error path that raises contributes no state to the join."""
+
+from repro.sim.events import Sleep
+
+
+class Channel:
+    def invoke(self):
+        if self.dead:
+            self.stats.errors += 1
+            yield Sleep(1.0)
+            raise RuntimeError("dead channel")
+        yield Sleep(10.0)
+        self.stats.calls += 1
+
+    def snapshot(self):
+        yield Sleep(1.0)
+        return (self.stats.errors, self.stats.calls)

@@ -1,0 +1,14 @@
+"""A cached shared value used after a yield that can invalidate it."""
+
+from repro.sim.events import Sleep
+
+
+class Monitor:
+    def sample(self):
+        depth = self.depth
+        yield Sleep(10.0)
+        self.history.append(depth)
+
+    def bump(self):
+        self.depth += 1
+        yield Sleep(1.0)

@@ -1,0 +1,14 @@
+"""Windowed delta: the cached value is compared against a fresh read."""
+
+from repro.sim.events import Sleep
+
+
+class Monitor:
+    def sample(self):
+        busy = self.busy_us
+        yield Sleep(10.0)
+        self.window_us = self.busy_us - busy
+
+    def bump(self):
+        self.busy_us += 5.0
+        yield Sleep(1.0)

@@ -1,0 +1,17 @@
+"""A Resource held from the read to the use keeps the cache current."""
+
+from repro.sim.events import Sleep, WaitFor
+
+
+class Monitor:
+    def sample(self):
+        with self.lock.request() as grant:
+            yield WaitFor(grant)
+            depth = self.depth
+            yield Sleep(5.0)
+            self.history.append(depth)
+
+    def bump(self):
+        with self.lock.request() as grant:
+            yield WaitFor(grant)
+            self.depth += 1

@@ -1,0 +1,17 @@
+"""Deliberate snapshot: compared against a fresh read, then history."""
+
+from repro.sim.events import Sleep
+
+
+class Tracker:
+    def watch(self):
+        previous = self.device
+        while True:
+            yield Sleep(10.0)
+            if self.device != previous:
+                self.moves.append(previous)
+            previous = self.device
+
+    def migrate(self):
+        self.device = "gpu"
+        yield Sleep(1.0)

@@ -1,0 +1,14 @@
+"""A write-back of a cached value is the atomicity rule's territory."""
+
+from repro.sim.events import Sleep
+
+
+class Counter:
+    def flush(self):
+        total = self.total_us
+        yield Sleep(5.0)
+        self.total_us = total + 1.0
+
+    def bump(self):
+        self.total_us += 2.0
+        yield Sleep(1.0)

@@ -1,0 +1,19 @@
+"""One lock-free writer voids the protocol the locked sites rely on."""
+
+from repro.sim.events import Sleep, WaitFor
+
+
+class Pool:
+    def worker(self):
+        with self.lock.request() as grant:
+            yield WaitFor(grant)
+            self.depth += 1
+
+    def drain(self):
+        with self.lock.request() as grant:
+            yield WaitFor(grant)
+            self.depth -= 1
+
+    def poke(self):
+        self.depth += 1
+        yield Sleep(1.0)

@@ -1,0 +1,15 @@
+"""Every accessor holds the Resource: the lockset discipline holds."""
+
+from repro.sim.events import WaitFor
+
+
+class Pool:
+    def worker(self):
+        with self.lock.request() as grant:
+            yield WaitFor(grant)
+            self.depth += 1
+
+    def drain(self):
+        with self.lock.request() as grant:
+            yield WaitFor(grant)
+            self.depth -= 1

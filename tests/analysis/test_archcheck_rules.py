@@ -550,7 +550,7 @@ def test_check_umbrella_json_is_keyed_by_tool(tmp_path, capsys):
         "--format=json",
     ]) == 1
     payload = json.loads(capsys.readouterr().out)
-    assert set(payload) == {"lint", "semcheck", "archcheck"}
+    assert set(payload) == {"lint", "semcheck", "archcheck", "racecheck"}
     assert payload["archcheck"][0]["rule"] == "sim-blocking-call"
     assert payload["lint"] == []
 

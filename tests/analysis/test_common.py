@@ -123,6 +123,127 @@ def test_inventory_pragmas_flags_unknown_rule_ids(tmp_path):
     assert "bogus-rule" in errors[0].message
 
 
+def test_rule_owners_covers_every_known_rule_exactly_once():
+    owners = common.rule_owners()
+    assert set(owners) == set(common.known_rule_ids())
+    assert set(owners.values()) == {
+        "lint", "semcheck", "archcheck", "racecheck",
+    }
+    assert owners["wall-clock"] == "lint"
+    assert owners["sim-blocking-call"] == "archcheck"
+    assert owners["atomicity-violation"] == "racecheck"
+
+
+def test_prune_baseline_drops_only_stale_entries(tmp_path):
+    path = tmp_path / "baseline.json"
+    live = common.Finding("wall-clock", "a.py", 4, 0, "m")
+    gone = common.Finding("wall-clock", "b.py", 9, 0, "m")
+    baseline.write_baseline(path, [live, gone])
+
+    kept, pruned, errors = baseline.prune_baseline(
+        path, [live], known_rules=common.known_rule_ids()
+    )
+    assert errors == []
+    assert [e.key() for e in kept] == [("a.py", 4, "wall-clock")]
+    assert [e.key() for e in pruned] == [("b.py", 9, "wall-clock")]
+    # The file was rewritten without the stale entry.
+    entries, errors = baseline.load_baseline(
+        path, known_rules=common.known_rule_ids()
+    )
+    assert errors == []
+    assert [e.key() for e in entries] == [("a.py", 4, "wall-clock")]
+
+
+def test_prune_baseline_never_repairs_an_unreadable_file(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("{not json")
+    before = path.read_text()
+    _kept, pruned, errors = baseline.prune_baseline(
+        path, [], known_rules=common.known_rule_ids()
+    )
+    assert pruned == []
+    assert len(errors) == 1
+    assert path.read_text() == before
+
+
+def test_prune_baseline_leaves_a_current_file_untouched(tmp_path):
+    path = tmp_path / "baseline.json"
+    live = common.Finding("wall-clock", "a.py", 4, 0, "m")
+    baseline.write_baseline(path, [live])
+    stamp = path.read_text()
+    kept, pruned, errors = baseline.prune_baseline(
+        path, [live], known_rules=common.known_rule_ids()
+    )
+    assert (len(kept), pruned, errors) == (1, [], [])
+    assert path.read_text() == stamp
+
+
+def test_list_pragmas_merges_rows_and_annotates_owning_tools(
+        tmp_path, capsys):
+    from repro import cli
+
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import time\n"
+        "T0 = time.time()  # repro: allow[wall-clock]\n"
+        "X = 1  # repro: allow[atomicity-violation]\n"
+        "# repro: allow-file[sim-blocking-call]\n"
+    )
+    assert cli.main(["check", str(target), "--list-pragmas"]) == 0
+    out = capsys.readouterr().out
+    assert "allow[wall-clock] (lint)" in out
+    assert "allow[atomicity-violation] (racecheck)" in out
+    assert "allow-file[sim-blocking-call] (archcheck)" in out
+    assert "3 pragma(s)" in out
+
+    assert cli.main([
+        "check", str(target), "--list-pragmas", "--format=json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [row["tools"] for row in payload] == [
+        ["lint"], ["racecheck"], ["archcheck"],
+    ]
+    assert all(row["unrecognized"] == [] for row in payload)
+
+
+def test_list_pragmas_flags_rules_no_tool_recognizes(tmp_path, capsys):
+    from repro import cli
+
+    target = tmp_path / "mod.py"
+    target.write_text("X = 1  # repro: allow[not-anyones-rule]\n")
+    assert cli.main(["check", str(target), "--list-pragmas"]) == 2
+    out = capsys.readouterr().out
+    assert "unrecognized by every tool: not-anyones-rule" in out
+
+
+def test_cli_update_baseline_prunes_and_reports(tmp_path, capsys):
+    from repro import cli
+
+    target = tmp_path / "mod.py"
+    target.write_text("import time\nT0 = time.time()\n")
+    path = tmp_path / "baseline.json"
+    assert cli.main([
+        "lint", str(target), "--baseline", str(path), "--write-baseline",
+    ]) == 0
+    capsys.readouterr()
+
+    # Nothing stale yet: the file is left alone.
+    assert cli.main([
+        "lint", str(target), "--baseline", str(path), "--update-baseline",
+    ]) == 0
+    assert "pruned 0 stale entries, 1 kept" in capsys.readouterr().out
+
+    # Fix the hazard; the acknowledged entry is now stale and pruned.
+    target.write_text("VALUE = 1\n")
+    assert cli.main([
+        "lint", str(target), "--baseline", str(path), "--update-baseline",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "[wall-clock]" in out
+    assert "pruned 1 stale entry, 0 kept" in out
+    assert json.loads(path.read_text())["entries"] == []
+
+
 def test_repo_pragma_inventory_is_tiny():
     # Every committed suppression must be deliberate; inventory the
     # real tree so new pragmas show up in review.
